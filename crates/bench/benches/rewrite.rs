@@ -1,0 +1,41 @@
+//! E9: algebraic rewriting ablation — patterns as written vs after the
+//! Theorems 2–5 optimizer (choice factoring, chain re-parenthesisation,
+//! commutative reordering) on a selectivity-skewed log.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use wlq_engine::Evaluator;
+use wlq_log::LogStats;
+use wlq_pattern::{Optimizer, Pattern};
+use wlq_workflow::generator::skewed_log;
+
+fn bench_rewrites(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e9_rewrite");
+    group.sample_size(10);
+    let log = skewed_log(40, 120, 8, 7);
+    let optimizer = Optimizer::new(LogStats::compute(&log));
+    let eval = Evaluator::new(&log);
+
+    let cases = [
+        ("skewed_chain", "T0 -> T1 -> T5 -> T6"),
+        ("shared_prefix_choice", "(T0 -> T1 -> T6) | (T0 -> T1 -> T7)"),
+        ("parallel_choice", "(T0 & T6) | (T0 & T7)"),
+        ("commutative_chain", "T0 & T1 & T6"),
+    ];
+    for (name, src) in cases {
+        let p: Pattern = src.parse().unwrap();
+        let rewritten = optimizer.optimize(&p);
+        assert_eq!(eval.evaluate(&p), eval.evaluate(&rewritten));
+        group.bench_with_input(BenchmarkId::new("as_written", name), &p, |b, p| {
+            b.iter(|| black_box(eval.evaluate(p)));
+        });
+        group.bench_with_input(BenchmarkId::new("optimized", name), &rewritten, |b, p| {
+            b.iter(|| black_box(eval.evaluate(p)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_rewrites);
+criterion_main!(benches);

@@ -1,0 +1,198 @@
+//! Shared workload builders and measurement helpers for the benchmark
+//! harness and the `repro` binary.
+//!
+//! Every experiment of EXPERIMENTS.md is driven either by a Criterion
+//! bench (`benches/`) or by the `repro` binary (`src/bin/repro.rs`); both
+//! build their inputs here so the two agree on workload shapes.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod warehouse;
+
+use std::time::{Duration, Instant};
+
+use wlq_engine::Incident;
+use wlq_log::{IsLsn, Wid};
+
+/// A synthetic per-instance incident list of `n` singleton incidents at
+/// positions `start, start + stride, …` (sorted by `first`, as the
+/// operator implementations require).
+#[must_use]
+pub fn singleton_incidents(n: usize, start: u32, stride: u32) -> Vec<Incident> {
+    (0..n)
+        .map(|i| Incident::singleton(Wid(1), IsLsn(start + i as u32 * stride)))
+        .collect()
+}
+
+/// A synthetic incident list of `n` incidents, each containing `k`
+/// positions, with position sets interleaved so that all incidents'
+/// `[first, last]` ranges overlap (forcing the parallel operator's full
+/// disjointness scan, the Lemma 1 worst case).
+#[must_use]
+pub fn overlapping_incidents(n: usize, k: usize) -> Vec<Incident> {
+    let n_u32 = n as u32;
+    (0..n as u32)
+        .map(|j| {
+            let positions: Vec<IsLsn> =
+                (0..k as u32).map(|row| IsLsn(1 + j + row * n_u32)).collect();
+            Incident::from_positions(Wid(1), positions)
+        })
+        .collect()
+}
+
+/// A synthetic incident list of `n` incidents of width `k` that all share
+/// the *prefix* `{1, …, k-1}` and differ only in their final position.
+/// Element-wise equality comparison of any two of them scans the full
+/// width before deciding — the worst case of the paper's printed
+/// `CHOICE-EVAL` (time `Θ(n1·n2·min(k1,k2))`).
+///
+/// # Panics
+///
+/// Panics if `k` is 0.
+#[must_use]
+pub fn shared_prefix_incidents(n: usize, k: usize) -> Vec<Incident> {
+    assert!(k > 0);
+    (0..n as u32)
+        .map(|j| {
+            let mut positions: Vec<IsLsn> = (1..k as u32).map(IsLsn).collect();
+            positions.push(IsLsn(k as u32 + j));
+            Incident::from_positions(Wid(1), positions)
+        })
+        .collect()
+}
+
+/// A synthetic incident list of `n` incidents of width `k` that all share
+/// one *final* position, so every cross pair (a) defeats the range
+/// shortcut (the spans all end at the same record) and (b) is found
+/// non-disjoint only after a full `Θ(k1+k2)` merge scan, producing no
+/// output. Isolates the parallel operator's disjointness-check cost.
+///
+/// # Panics
+///
+/// Panics if `k` is 0.
+#[must_use]
+pub fn common_tail_incidents(n: usize, k: usize) -> Vec<Incident> {
+    assert!(k > 0);
+    let n_u32 = n as u32;
+    let sentinel = IsLsn(1 + n_u32 * k as u32 + 1);
+    (0..n as u32)
+        .map(|j| {
+            let mut positions: Vec<IsLsn> =
+                (0..k as u32 - 1).map(|row| IsLsn(1 + j + row * n_u32)).collect();
+            positions.push(sentinel);
+            Incident::from_positions(Wid(1), positions)
+        })
+        .collect()
+}
+
+/// Median wall-clock time of `runs` executions of `f` (at least one).
+pub fn time_median<F: FnMut()>(runs: usize, mut f: F) -> Duration {
+    let runs = runs.max(1);
+    let mut samples: Vec<Duration> = (0..runs)
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed()
+        })
+        .collect();
+    samples.sort();
+    samples[samples.len() / 2]
+}
+
+/// Least-squares slope of `ln(y)` against `ln(x)` — the growth exponent on
+/// a log–log plot. Points with non-positive coordinates are skipped.
+///
+/// # Panics
+///
+/// Panics if fewer than two usable points remain.
+#[must_use]
+pub fn loglog_slope(points: &[(f64, f64)]) -> f64 {
+    let logs: Vec<(f64, f64)> = points
+        .iter()
+        .filter(|&&(x, y)| x > 0.0 && y > 0.0)
+        .map(|&(x, y)| (x.ln(), y.ln()))
+        .collect();
+    assert!(logs.len() >= 2, "need at least two positive points");
+    let n = logs.len() as f64;
+    let sum_x: f64 = logs.iter().map(|p| p.0).sum();
+    let sum_y: f64 = logs.iter().map(|p| p.1).sum();
+    let sum_xx: f64 = logs.iter().map(|p| p.0 * p.0).sum();
+    let sum_xy: f64 = logs.iter().map(|p| p.0 * p.1).sum();
+    (n * sum_xy - sum_x * sum_y) / (n * sum_xx - sum_x * sum_x)
+}
+
+/// Formats a duration in microseconds with three decimal digits.
+#[must_use]
+pub fn fmt_us(d: Duration) -> String {
+    format!("{:.3}", d.as_secs_f64() * 1e6)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn singleton_incidents_are_sorted_and_spaced() {
+        let incs = singleton_incidents(4, 10, 3);
+        let firsts: Vec<u32> = incs.iter().map(|o| o.first().get()).collect();
+        assert_eq!(firsts, vec![10, 13, 16, 19]);
+    }
+
+    #[test]
+    fn overlapping_incidents_overlap_and_are_disjoint() {
+        let incs = overlapping_incidents(5, 3);
+        assert_eq!(incs.len(), 5);
+        for o in &incs {
+            assert_eq!(o.len(), 3);
+        }
+        // Ranges overlap pairwise…
+        assert!(incs[0].last() > incs[4].first());
+        // …but no two incidents share a position.
+        for i in 0..incs.len() {
+            for j in i + 1..incs.len() {
+                assert!(incs[i].is_disjoint(&incs[j]));
+            }
+        }
+    }
+
+    #[test]
+    fn shared_prefix_incidents_differ_only_at_the_tail() {
+        let incs = shared_prefix_incidents(4, 5);
+        for o in &incs {
+            assert_eq!(o.len(), 5);
+            assert_eq!(o.positions()[..4], [IsLsn(1), IsLsn(2), IsLsn(3), IsLsn(4)]);
+        }
+        assert_ne!(incs[0], incs[1]);
+    }
+
+    #[test]
+    fn common_tail_incidents_pairwise_overlap_without_shortcut() {
+        let incs = common_tail_incidents(6, 4);
+        for i in 0..incs.len() {
+            for j in 0..incs.len() {
+                // Every pair shares the sentinel: never disjoint.
+                assert!(!incs[i].is_disjoint(&incs[j]));
+                // And the spans overlap, so the range shortcut can't fire.
+                assert!(incs[i].last() >= incs[j].first());
+            }
+        }
+    }
+
+    #[test]
+    fn loglog_slope_recovers_exponents() {
+        let quadratic: Vec<(f64, f64)> =
+            (1..=6).map(|i| (i as f64, (i * i) as f64)).collect();
+        assert!((loglog_slope(&quadratic) - 2.0).abs() < 1e-9);
+        let linear: Vec<(f64, f64)> = (1..=6).map(|i| (i as f64, 3.0 * i as f64)).collect();
+        assert!((loglog_slope(&linear) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn time_median_is_positive() {
+        let d = time_median(3, || {
+            std::hint::black_box((0..1000).sum::<u64>());
+        });
+        assert!(d > Duration::ZERO);
+    }
+}

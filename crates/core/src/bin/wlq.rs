@@ -1,0 +1,354 @@
+//! `wlq` — command-line interface to the workflow-log query engine.
+//!
+//! ```text
+//! wlq simulate <clinic|order|loan|helpdesk> <instances> <seed> [out-file]
+//! wlq stats    <log-file>
+//! wlq validate <log-file>
+//! wlq query    <log-file> <pattern> [--count|--exists|--by-instance]
+//!              [--naive] [--no-optimize] [--threads N]
+//! wlq explain  <log-file> <pattern>
+//! wlq timeline <log-file> <pattern> [step]
+//! wlq spans    <log-file> <pattern>
+//! wlq mine     <log-file> [min-support]
+//! wlq check    <clinic|order|loan|helpdesk> <log-file>
+//! wlq audit    <log-file> [rules-file]
+//! wlq convert  <in-file> <out-file>
+//! wlq dot      <clinic|order|loan|helpdesk>
+//! wlq example
+//! ```
+//!
+//! Log files are read/written by extension: `.csv` (CSV), `.bin`
+//! (binary), `.xes` (IEEE XES subset), anything else the Figure 3-style
+//! text table.
+
+use std::process::ExitCode;
+
+use wlq::{
+    io, mine_relations, scenarios, simulate, Explain, Log, LogStats, Pattern, Query,
+    SimulationConfig, Strategy, WorkflowModel,
+};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            eprintln!("run `wlq help` for usage");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let command = args.first().map(String::as_str).unwrap_or("help");
+    match command {
+        "help" | "--help" | "-h" => {
+            print!("{}", usage());
+            Ok(())
+        }
+        "example" => {
+            print!("{}", io::text::write_text(&wlq::paper::figure3_log()));
+            Ok(())
+        }
+        "simulate" => cmd_simulate(&args[1..]),
+        "stats" => cmd_stats(&args[1..]),
+        "validate" => cmd_validate(&args[1..]),
+        "query" => cmd_query(&args[1..]),
+        "explain" => cmd_explain(&args[1..]),
+        "timeline" => cmd_timeline(&args[1..]),
+        "spans" => cmd_spans(&args[1..]),
+        "mine" => cmd_mine(&args[1..]),
+        "check" => cmd_check(&args[1..]),
+        "convert" => cmd_convert(&args[1..]),
+        "audit" => cmd_audit(&args[1..]),
+        "dot" => cmd_dot(&args[1..]),
+        other => Err(format!("unknown command {other:?}")),
+    }
+}
+
+fn usage() -> String {
+    "wlq — query workflow logs with incident patterns\n\
+     \n\
+     commands:\n\
+     \x20 simulate <clinic|order|loan|helpdesk> <instances> <seed> [out-file]\n\
+     \x20 stats    <log-file>\n\
+     \x20 validate <log-file>\n\
+     \x20 query    <log-file> <pattern> [--count|--exists|--by-instance] [--naive] [--no-optimize] [--threads N]\n\
+     \x20 explain  <log-file> <pattern>\n\
+     \x20 timeline <log-file> <pattern> [step]\n\
+     \x20 spans    <log-file> <pattern>\n\
+     \x20 mine     <log-file> [min-support]\n\
+     \x20 check    <clinic|order|loan|helpdesk> <log-file>\n\
+     \x20 audit    <log-file> [rules-file]\n\
+     \x20 convert  <in-file> <out-file>\n\
+     \x20 dot      <clinic|order|loan|helpdesk>\n\
+     \x20 example\n\
+     \n\
+     pattern syntax: activity names composed with ~> (consecutive), -> (sequential),\n\
+     | (choice), & (parallel); !A negates; A[out.balance > 5000] filters attributes.\n"
+        .to_string()
+}
+
+fn scenario_model(name: &str) -> Result<WorkflowModel, String> {
+    match name {
+        "clinic" => Ok(scenarios::clinic::model()),
+        "order" => Ok(scenarios::order::model()),
+        "loan" => Ok(scenarios::loan::model()),
+        "helpdesk" => Ok(scenarios::helpdesk::model()),
+        other => Err(format!(
+            "unknown scenario {other:?} (expected clinic, order, loan, or helpdesk)"
+        )),
+    }
+}
+
+fn read_log(path: &str) -> Result<Log, String> {
+    let read_err = |e: std::io::Error| format!("cannot read {path}: {e}");
+    if path.ends_with(".bin") {
+        let raw = std::fs::read(path).map_err(read_err)?;
+        io::binary::read_binary(raw.into()).map_err(|e| format!("{path}: {e}"))
+    } else {
+        let text = std::fs::read_to_string(path).map_err(read_err)?;
+        if path.ends_with(".csv") {
+            io::csv::read_csv(&text).map_err(|e| format!("{path}: {e}"))
+        } else if path.ends_with(".xes") {
+            io::xes::read_xes(&text).map_err(|e| format!("{path}: {e}"))
+        } else {
+            io::text::read_text(&text).map_err(|e| format!("{path}: {e}"))
+        }
+    }
+}
+
+fn write_log(log: &Log, path: &str) -> Result<(), String> {
+    let write_err = |e: std::io::Error| format!("cannot write {path}: {e}");
+    if path.ends_with(".bin") {
+        std::fs::write(path, io::binary::write_binary(log)).map_err(write_err)
+    } else if path.ends_with(".csv") {
+        std::fs::write(path, io::csv::write_csv(log)).map_err(write_err)
+    } else if path.ends_with(".xes") {
+        std::fs::write(path, io::xes::write_xes(log)).map_err(write_err)
+    } else {
+        std::fs::write(path, io::text::write_text(log)).map_err(write_err)
+    }
+}
+
+fn parse_pattern(src: &str) -> Result<Pattern, String> {
+    src.parse().map_err(|e| format!("bad pattern {src:?}: {e}"))
+}
+
+fn cmd_simulate(args: &[String]) -> Result<(), String> {
+    let [scenario, instances, seed, rest @ ..] = args else {
+        return Err("usage: simulate <scenario> <instances> <seed> [out-file]".to_string());
+    };
+    let model = scenario_model(scenario)?;
+    let instances: usize = instances
+        .parse()
+        .map_err(|_| format!("instances must be a number, got {instances:?}"))?;
+    let seed: u64 = seed.parse().map_err(|_| format!("seed must be a number, got {seed:?}"))?;
+    let log = simulate(&model, &SimulationConfig::new(instances, seed));
+    match rest {
+        [] => print!("{}", io::text::write_text(&log)),
+        [path] => {
+            write_log(&log, path)?;
+            println!("wrote {} records ({} instances) to {path}", log.len(), log.num_instances());
+        }
+        _ => return Err("too many arguments to simulate".to_string()),
+    }
+    Ok(())
+}
+
+fn cmd_stats(args: &[String]) -> Result<(), String> {
+    let [path] = args else {
+        return Err("usage: stats <log-file>".to_string());
+    };
+    let log = read_log(path)?;
+    print!("{}", LogStats::compute(&log));
+    Ok(())
+}
+
+fn cmd_validate(args: &[String]) -> Result<(), String> {
+    let [path] = args else {
+        return Err("usage: validate <log-file>".to_string());
+    };
+    let log = read_log(path)?;
+    println!(
+        "valid log: {} records, {} instances ({} completed)",
+        log.len(),
+        log.num_instances(),
+        log.wids().filter(|&w| log.is_completed(w)).count()
+    );
+    Ok(())
+}
+
+fn cmd_query(args: &[String]) -> Result<(), String> {
+    let [path, pattern_src, flags @ ..] = args else {
+        return Err("usage: query <log-file> <pattern> [flags]".to_string());
+    };
+    let log = read_log(path)?;
+    let mut query = Query::parse(pattern_src).map_err(|e| format!("bad pattern: {e}"))?;
+    let mut mode = "list";
+    let mut iter = flags.iter();
+    while let Some(flag) = iter.next() {
+        match flag.as_str() {
+            "--count" => mode = "count",
+            "--exists" => mode = "exists",
+            "--by-instance" => mode = "by-instance",
+            "--naive" => query = query.strategy(Strategy::NaivePaper),
+            "--no-optimize" => query = query.optimize(false),
+            "--threads" => {
+                let n: usize = iter
+                    .next()
+                    .ok_or("--threads needs a number")?
+                    .parse()
+                    .map_err(|_| "--threads needs a number".to_string())?;
+                query = query.threads(n);
+            }
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    match mode {
+        "count" => println!("{}", query.count(&log)),
+        "exists" => println!("{}", query.exists(&log)),
+        "by-instance" => {
+            for (wid, count) in query.count_by_instance(&log) {
+                println!("wid {wid}: {count}");
+            }
+        }
+        _ => {
+            let incidents = query.find(&log);
+            println!(
+                "{} incident(s) in {} instance(s)",
+                incidents.len(),
+                incidents.num_matched_instances()
+            );
+            for incident in incidents.iter().take(50) {
+                println!("  {incident}");
+            }
+            if incidents.len() > 50 {
+                println!("  … {} more", incidents.len() - 50);
+            }
+        }
+    }
+    Ok(())
+}
+
+fn cmd_explain(args: &[String]) -> Result<(), String> {
+    let [path, pattern_src] = args else {
+        return Err("usage: explain <log-file> <pattern>".to_string());
+    };
+    let log = read_log(path)?;
+    let pattern = parse_pattern(pattern_src)?;
+    let explain = Explain::run(&log, &pattern, true, Strategy::Optimized);
+    print!("{explain}");
+    Ok(())
+}
+
+fn cmd_timeline(args: &[String]) -> Result<(), String> {
+    let (path, pattern_src, step) = match args {
+        [path, pattern] => (path, pattern, 0usize),
+        [path, pattern, step] => (
+            path,
+            pattern,
+            step.parse()
+                .map_err(|_| format!("step must be a number, got {step:?}"))?,
+        ),
+        _ => return Err("usage: timeline <log-file> <pattern> [step]".to_string()),
+    };
+    let log = read_log(path)?;
+    let pattern = parse_pattern(pattern_src)?;
+    let step = if step == 0 { (log.len() / 10).max(1) } else { step };
+    println!("{:>10} {:>12} {:>8}", "up to lsn", "incidents", "new");
+    for point in wlq::timeline(&log, &pattern, step) {
+        println!("{:>10} {:>12} {:>8}", point.lsn.get(), point.incidents, point.delta);
+    }
+    Ok(())
+}
+
+fn cmd_spans(args: &[String]) -> Result<(), String> {
+    let [path, pattern_src] = args else {
+        return Err("usage: spans <log-file> <pattern>".to_string());
+    };
+    let log = read_log(path)?;
+    let query = Query::parse(pattern_src).map_err(|e| format!("bad pattern: {e}"))?;
+    match query.span_stats(&log) {
+        Some(stats) => println!("{stats}"),
+        None => println!("no incidents"),
+    }
+    Ok(())
+}
+
+fn cmd_mine(args: &[String]) -> Result<(), String> {
+    let (path, min_support) = match args {
+        [path] => (path, 2),
+        [path, support] => (
+            path,
+            support
+                .parse()
+                .map_err(|_| format!("min-support must be a number, got {support:?}"))?,
+        ),
+        _ => return Err("usage: mine <log-file> [min-support]".to_string()),
+    };
+    let log = read_log(path)?;
+    let relations = mine_relations(&log, min_support);
+    println!("{} relation(s) with support ≥ {min_support}:", relations.len());
+    for relation in relations {
+        println!("  {:<40} support {}", relation.pattern.to_string(), relation.support);
+    }
+    Ok(())
+}
+
+fn cmd_check(args: &[String]) -> Result<(), String> {
+    let [scenario, path] = args else {
+        return Err("usage: check <scenario> <log-file>".to_string());
+    };
+    let model = scenario_model(scenario)?;
+    let log = read_log(path)?;
+    let report = model.check_log(&log);
+    let violations = report.violations();
+    for (wid, verdict) in &report.verdicts {
+        println!("wid {wid}: {verdict:?}");
+    }
+    if violations.is_empty() {
+        println!("log conforms to {}", model.name());
+        Ok(())
+    } else {
+        Err(format!("{} instance(s) violate the model", violations.len()))
+    }
+}
+
+fn cmd_audit(args: &[String]) -> Result<(), String> {
+    let (path, rules) = match args {
+        [path] => (path, wlq::rules::RuleSet::clinic_fraud()),
+        [path, rules_file] => {
+            let text = std::fs::read_to_string(rules_file)
+                .map_err(|e| format!("cannot read {rules_file}: {e}"))?;
+            (path, wlq::rules::RuleSet::parse(&text).map_err(|e| e.to_string())?)
+        }
+        _ => return Err("usage: audit <log-file> [rules-file]".to_string()),
+    };
+    let log = read_log(path)?;
+    let report = rules.audit(&log);
+    print!("{report}");
+    for (wid, hits) in report.repeat_offenders(2).into_iter().take(10) {
+        println!("  repeat offender: instance {wid} tripped {hits} rules");
+    }
+    Ok(())
+}
+
+fn cmd_convert(args: &[String]) -> Result<(), String> {
+    let [input, output] = args else {
+        return Err("usage: convert <in-file> <out-file>".to_string());
+    };
+    let log = read_log(input)?;
+    write_log(&log, output)?;
+    println!("converted {} records: {input} -> {output}", log.len());
+    Ok(())
+}
+
+fn cmd_dot(args: &[String]) -> Result<(), String> {
+    let [scenario] = args else {
+        return Err("usage: dot <scenario>".to_string());
+    };
+    print!("{}", scenario_model(scenario)?.to_dot());
+    Ok(())
+}

@@ -1,0 +1,189 @@
+//! # WLQ — querying workflow logs
+//!
+//! A full Rust implementation of *"Querying Workflow Logs"* (Yan Tang,
+//! Isaac Mackey, Jianwen Su): an algebraic query language over workflow
+//! execution logs based on **incident patterns**, with four BPMN-inspired
+//! composition operators — consecutive `⊙` (`~>`), sequential `→` (`->`),
+//! choice `⊗` (`|`), and parallel `⊕` (`&`).
+//!
+//! This crate is the facade: it re-exports the whole API surface and adds
+//! the paper's motivating analyses as ready-made queries ([`analyses`]).
+//!
+//! | Layer | Crate | Contents |
+//! |---|---|---|
+//! | Log model | [`wlq_log`] | records, logs, validation, indexes, serialization |
+//! | Workflow engine | [`wlq_workflow`] | models, simulator, scenarios, generators |
+//! | Pattern algebra | [`wlq_pattern`] | AST, parser, laws (Theorems 2–5), optimizer |
+//! | Evaluation | [`wlq_engine`] | naive + optimized operators, trees, parallel, streaming |
+//!
+//! ## Quick start
+//!
+//! ```
+//! use wlq::prelude::*;
+//!
+//! // Enact the paper's clinic referral process…
+//! let model = wlq::scenarios::clinic::model();
+//! let log = simulate(&model, &SimulationConfig::new(50, 42));
+//!
+//! // …and ask the paper's question: does anyone update their referral
+//! // before being reimbursed?
+//! let q = Query::parse("UpdateRefer -> GetReimburse")?;
+//! println!("{} anomalous incident(s)", q.count(&log));
+//! # Ok::<(), wlq::ParsePatternError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub use wlq_engine::{
+    combine, equivalent_up_to, evaluate_parallel, fast_count, leaf_incidents, mine_relations,
+    timeline,
+    BoundIncident, BoundedEquiv, EvalTrace, Evaluator,
+    Explain,
+    ExplainRow, Incident, IncidentSet, IncidentTree, LabelledPattern, MinedRelation, Node,
+    NodeTrace, Query,
+    QueryProfile, SharedStreamingEvaluator, SpanStats, Strategy, StreamingEvaluator,
+    TimelinePoint,
+};
+pub use wlq_log::{
+    attrs, io, paper, Activity, AttrMap, AttrName, IsLsn, Log, LogBuilder, LogError, LogIndex,
+    LogRecord, LogStats, Lsn, ParseLogError, Value, Wid, END_ACTIVITY, START_ACTIVITY,
+};
+pub use wlq_pattern::{
+    ac_equivalent, algebra, canonicalize, choice_normal_form, from_postfix, is_valid_pattern,
+    optimize, random_pattern, rewrite, sequential_chain, theorem1_worst_case, to_postfix,
+    to_symbolic, Atom, CmpOp, CostModel, Op, OptimizeReport, Optimizer, ParseErrorKind,
+    ParsePatternError, Pattern, PatternGenConfig, PostfixError, PostfixItem, Predicate, Scope,
+};
+pub use wlq_workflow::{
+    generator, scenarios, simulate, ConformanceReport, DataEffect, ModelBuilder, ModelError,
+    NodeDef, NodeId, SimulationConfig, Verdict, WorkflowModel,
+};
+
+pub mod rules;
+
+/// Everything most programs need, for `use wlq::prelude::*`.
+pub mod prelude {
+    pub use wlq_engine::{Evaluator, Incident, IncidentSet, Query, Strategy, StreamingEvaluator};
+    pub use wlq_log::{attrs, AttrMap, Log, LogBuilder, LogStats, Value, Wid};
+    pub use wlq_pattern::{Op, Pattern};
+    pub use wlq_workflow::{simulate, SimulationConfig, WorkflowModel};
+}
+
+pub mod analyses {
+    //! The paper's motivating analyses, packaged as functions.
+    //!
+    //! The introduction asks two questions of the clinic referral log:
+    //!
+    //! 1. *"How many students every year get referrals with balance >
+    //!    $5,000?"* — [`high_balance_referrals`] (the amount is a
+    //!    parameter; grouping uses any attribute, e.g. `year`, when the
+    //!    log records one).
+    //! 2. *"Are there any students updating their referral after they
+    //!    already got reimbursed?"* — [`update_after_reimburse`], and its
+    //!    mirror [`update_before_reimburse`] from Section 2.
+
+    use std::collections::BTreeMap;
+
+    use wlq_engine::Query;
+    use wlq_log::{Log, Value, Wid};
+    use wlq_pattern::{CmpOp, Pattern, Predicate};
+
+    /// Instances whose referral was issued (or later updated to) a balance
+    /// strictly above `threshold`. Uses the attribute-predicate extension.
+    #[must_use]
+    pub fn high_balance_referrals(log: &Log, threshold: i64) -> Vec<Wid> {
+        let refer = Pattern::Atom(
+            wlq_pattern::Atom::new("GetRefer").with_predicate(Predicate::new(
+                "balance",
+                CmpOp::Gt,
+                threshold,
+            )),
+        );
+        let update = Pattern::Atom(
+            wlq_pattern::Atom::new("UpdateRefer").with_predicate(Predicate::new(
+                "balance",
+                CmpOp::Gt,
+                threshold,
+            )),
+        );
+        Query::new(refer.alt(update))
+            .find(log)
+            .wids()
+            .collect()
+    }
+
+    /// Like [`high_balance_referrals`], additionally grouped by the value
+    /// of `group_attr` (e.g. a `year` attribute) at the matching record.
+    #[must_use]
+    pub fn high_balance_referrals_by(
+        log: &Log,
+        threshold: i64,
+        group_attr: &str,
+    ) -> BTreeMap<Value, usize> {
+        let refer = Pattern::Atom(
+            wlq_pattern::Atom::new("GetRefer").with_predicate(Predicate::new(
+                "balance",
+                CmpOp::Gt,
+                threshold,
+            )),
+        );
+        Query::new(refer).count_instances_by_attr(log, group_attr)
+    }
+
+    /// The Section 2 query: instances where a referral update happens
+    /// *before* a reimbursement (`UpdateRefer → GetReimburse`).
+    #[must_use]
+    pub fn update_before_reimburse(log: &Log) -> Vec<Wid> {
+        Query::parse("UpdateRefer -> GetReimburse")
+            .expect("static pattern parses")
+            .find(log)
+            .wids()
+            .collect()
+    }
+
+    /// The introduction's fraud hint: instances updating a referral
+    /// *after* already being reimbursed (`GetReimburse → UpdateRefer`).
+    #[must_use]
+    pub fn update_after_reimburse(log: &Log) -> Vec<Wid> {
+        Query::parse("GetReimburse -> UpdateRefer")
+            .expect("static pattern parses")
+            .find(log)
+            .wids()
+            .collect()
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+        use wlq_log::paper;
+
+        #[test]
+        fn figure3_update_before_reimburse_is_wid2() {
+            let log = paper::figure3_log();
+            assert_eq!(update_before_reimburse(&log), vec![Wid(2)]);
+            assert!(update_after_reimburse(&log).is_empty());
+        }
+
+        #[test]
+        fn figure3_high_balance_thresholds() {
+            let log = paper::figure3_log();
+            // Initial balances: 1000, 2000, 500; wid 2 updates to 5000.
+            assert_eq!(high_balance_referrals(&log, 5000), Vec::<Wid>::new());
+            assert_eq!(high_balance_referrals(&log, 4999), vec![Wid(2)]);
+            assert_eq!(high_balance_referrals(&log, 900), vec![Wid(1), Wid(2)]);
+            assert_eq!(
+                high_balance_referrals(&log, 100),
+                vec![Wid(1), Wid(2), Wid(3)]
+            );
+        }
+
+        #[test]
+        fn grouping_by_hospital_counts_instances() {
+            let log = paper::figure3_log();
+            let groups = high_balance_referrals_by(&log, 900, "hospital");
+            assert_eq!(groups[&Value::from("Public Hospital")], 1);
+            assert_eq!(groups[&Value::from("People Hospital")], 1);
+        }
+    }
+}

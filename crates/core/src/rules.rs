@@ -1,0 +1,321 @@
+//! Named rule sets: reusable batteries of incident-pattern queries.
+//!
+//! The paper closes by suggesting queries "constructed from business
+//! principles" for fraud detection. A [`RuleSet`] is exactly that: named
+//! patterns with descriptions, parsed from a simple text format, run
+//! together as an audit.
+//!
+//! ## Rule-file format
+//!
+//! One rule per line: `name := pattern  # optional description`.
+//! Blank lines and lines starting with `#` are skipped.
+//!
+//! ```text
+//! # clinic fraud battery
+//! update-before-reimburse := UpdateRefer -> GetReimburse # budget raised before payout
+//! double-update           := UpdateRefer -> UpdateRefer
+//! ```
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use wlq_engine::{IncidentSet, Query};
+use wlq_log::{Log, Wid};
+use wlq_pattern::ParsePatternError;
+
+/// A named, documented incident-pattern query.
+#[derive(Debug, Clone)]
+pub struct Rule {
+    /// Identifier (no whitespace).
+    pub name: String,
+    /// Human explanation of what a hit means.
+    pub description: String,
+    /// The pattern to evaluate.
+    pub query: Query,
+}
+
+/// A parse failure for a rule file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RuleParseError {
+    /// 1-based line of the offending rule.
+    pub line: usize,
+    /// What was wrong.
+    pub message: String,
+}
+
+impl fmt::Display for RuleParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for RuleParseError {}
+
+/// An ordered collection of [`Rule`]s.
+#[derive(Debug, Clone, Default)]
+pub struct RuleSet {
+    rules: Vec<Rule>,
+}
+
+impl RuleSet {
+    /// Creates an empty rule set.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a rule built from a pattern source string.
+    ///
+    /// # Errors
+    ///
+    /// Returns the pattern parser's error on bad syntax.
+    pub fn add(
+        &mut self,
+        name: impl Into<String>,
+        description: impl Into<String>,
+        pattern: &str,
+    ) -> Result<(), ParsePatternError> {
+        self.rules.push(Rule {
+            name: name.into(),
+            description: description.into(),
+            query: Query::parse(pattern)?,
+        });
+        Ok(())
+    }
+
+    /// Parses a rule file (see the module docs for the format).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`RuleParseError`] naming the offending line.
+    pub fn parse(text: &str) -> Result<RuleSet, RuleParseError> {
+        let mut set = RuleSet::new();
+        for (i, raw) in text.lines().enumerate() {
+            let line_no = i + 1;
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let Some((name, rest)) = line.split_once(":=") else {
+                return Err(RuleParseError {
+                    line: line_no,
+                    message: "expected `name := pattern`".to_string(),
+                });
+            };
+            let name = name.trim();
+            if name.is_empty() || name.contains(char::is_whitespace) {
+                return Err(RuleParseError {
+                    line: line_no,
+                    message: format!("bad rule name {name:?}"),
+                });
+            }
+            let (pattern_src, description) = match rest.split_once('#') {
+                Some((p, d)) => (p.trim(), d.trim().to_string()),
+                None => (rest.trim(), String::new()),
+            };
+            set.add(name, description, pattern_src).map_err(|e| RuleParseError {
+                line: line_no,
+                message: format!("bad pattern: {e}"),
+            })?;
+        }
+        Ok(set)
+    }
+
+    /// The rules, in file order.
+    #[must_use]
+    pub fn rules(&self) -> &[Rule] {
+        &self.rules
+    }
+
+    /// Number of rules.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// Whether the set has no rules.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// Renders the set back to the rule-file format.
+    #[must_use]
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        for rule in &self.rules {
+            out.push_str(&rule.name);
+            out.push_str(" := ");
+            out.push_str(&rule.query.pattern().to_string());
+            if !rule.description.is_empty() {
+                out.push_str(" # ");
+                out.push_str(&rule.description);
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Runs every rule against `log`.
+    #[must_use]
+    pub fn audit(&self, log: &Log) -> AuditReport {
+        let mut rows = Vec::with_capacity(self.rules.len());
+        let mut flagged: BTreeMap<Wid, Vec<String>> = BTreeMap::new();
+        for rule in &self.rules {
+            let incidents = rule.query.find(log);
+            for wid in incidents.wids() {
+                flagged.entry(wid).or_default().push(rule.name.clone());
+            }
+            rows.push(AuditRow {
+                name: rule.name.clone(),
+                description: rule.description.clone(),
+                incidents,
+            });
+        }
+        AuditReport { rows, flagged }
+    }
+
+    /// The built-in clinic fraud battery used by the examples and the CLI.
+    #[must_use]
+    pub fn clinic_fraud() -> RuleSet {
+        RuleSet::parse(CLINIC_FRAUD_RULES).expect("built-in rules parse")
+    }
+}
+
+/// The built-in clinic battery, in rule-file syntax.
+pub const CLINIC_FRAUD_RULES: &str = "\
+# clinic referral fraud battery (see the paper's Section 2 and conclusion)
+update-before-reimburse := UpdateRefer -> GetReimburse # budget raised before cashing out
+double-update           := UpdateRefer -> UpdateRefer  # two budget raises in one referral
+instant-reimburse       := CheckIn ~> GetReimburse     # paid without ever seeing a doctor
+high-value-receipt      := PayTreatment[out.receipt > 4500] # single receipt over $4500
+pay-without-visit       := !SeeDoctor ~> PayTreatment  # payment not preceded by a visit
+";
+
+/// One rule's outcome in an [`AuditReport`].
+#[derive(Debug, Clone)]
+pub struct AuditRow {
+    /// The rule's name.
+    pub name: String,
+    /// The rule's description.
+    pub description: String,
+    /// Every incident the rule matched.
+    pub incidents: IncidentSet,
+}
+
+/// The outcome of [`RuleSet::audit`].
+#[derive(Debug, Clone)]
+pub struct AuditReport {
+    /// Per-rule outcomes, in rule order.
+    pub rows: Vec<AuditRow>,
+    /// For each flagged instance, the names of the rules that hit it.
+    pub flagged: BTreeMap<Wid, Vec<String>>,
+}
+
+impl AuditReport {
+    /// Instances flagged by at least `threshold` rules, most-flagged
+    /// first.
+    #[must_use]
+    pub fn repeat_offenders(&self, threshold: usize) -> Vec<(Wid, usize)> {
+        let mut out: Vec<(Wid, usize)> = self
+            .flagged
+            .iter()
+            .filter(|(_, rules)| rules.len() >= threshold)
+            .map(|(wid, rules)| (*wid, rules.len()))
+            .collect();
+        out.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        out
+    }
+
+    /// Total incidents across all rules.
+    #[must_use]
+    pub fn total_incidents(&self) -> usize {
+        self.rows.iter().map(|r| r.incidents.len()).sum()
+    }
+}
+
+impl fmt::Display for AuditReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for row in &self.rows {
+            writeln!(
+                f,
+                "{:<26} {:>6} incident(s) in {:>4} instance(s)  {}",
+                row.name,
+                row.incidents.len(),
+                row.incidents.num_matched_instances(),
+                row.description,
+            )?;
+        }
+        writeln!(f, "flagged instances: {}", self.flagged.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wlq_log::paper;
+
+    #[test]
+    fn rule_file_parses_names_patterns_descriptions() {
+        let set = RuleSet::parse(
+            "# comment\n\
+             \n\
+             a := A -> B # about a\n\
+             b := X | Y\n",
+        )
+        .unwrap();
+        assert_eq!(set.len(), 2);
+        assert_eq!(set.rules()[0].name, "a");
+        assert_eq!(set.rules()[0].description, "about a");
+        assert_eq!(set.rules()[1].description, "");
+        assert_eq!(set.rules()[1].query.pattern().to_string(), "X | Y");
+    }
+
+    #[test]
+    fn bad_rule_lines_are_rejected_with_line_numbers() {
+        let err = RuleSet::parse("a := A\nnot a rule\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        let err = RuleSet::parse("bad name := A").unwrap_err();
+        assert_eq!(err.line, 1);
+        let err = RuleSet::parse("a := ->").unwrap_err();
+        assert!(err.message.contains("bad pattern"));
+    }
+
+    #[test]
+    fn to_text_round_trips() {
+        let set = RuleSet::clinic_fraud();
+        let text = set.to_text();
+        let reparsed = RuleSet::parse(&text).unwrap();
+        assert_eq!(reparsed.len(), set.len());
+        for (a, b) in set.rules().iter().zip(reparsed.rules()) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.query.pattern(), b.query.pattern());
+            assert_eq!(a.description, b.description);
+        }
+    }
+
+    #[test]
+    fn clinic_battery_flags_figure3_instance2() {
+        let log = paper::figure3_log();
+        let report = RuleSet::clinic_fraud().audit(&log);
+        // update-before-reimburse hits wid 2.
+        let row = &report.rows[0];
+        assert_eq!(row.name, "update-before-reimburse");
+        assert_eq!(row.incidents.len(), 1);
+        assert!(report.flagged.contains_key(&Wid(2)));
+        assert_eq!(report.repeat_offenders(1).first().map(|p| p.0), Some(Wid(2)));
+        // Nobody trips three rules on the tiny example log.
+        assert!(report.repeat_offenders(3).is_empty());
+    }
+
+    #[test]
+    fn report_display_mentions_every_rule() {
+        let log = paper::figure3_log();
+        let report = RuleSet::clinic_fraud().audit(&log);
+        let text = report.to_string();
+        for rule in RuleSet::clinic_fraud().rules() {
+            assert!(text.contains(&rule.name), "missing {}", rule.name);
+        }
+        assert!(report.total_incidents() >= 1);
+    }
+}

@@ -1,0 +1,200 @@
+//! Bounded equivalence checking for patterns.
+//!
+//! Definition 5 equivalence (`incL(p) = incL(q)` for *all* logs `L`) is
+//! not decidable by sampling; [`equivalent_up_to`] decides it *up to a
+//! bound* by enumerating every single-instance log over the patterns'
+//! combined alphabet (plus one fresh activity, so negated atoms are
+//! exercised against "some other activity") up to a record count.
+//!
+//! Incidents never span instances, so single-instance logs suffice: if
+//! `incL(p) ≠ incL(q)` on any log, the witnessing instance alone already
+//! distinguishes them.
+//!
+//! This is the optimizer's safety net in tests and a practical
+//! equivalence oracle for small patterns — with alphabet size `a` the
+//! check evaluates `Σ a^ℓ` logs, so keep `max_len` modest.
+
+use wlq_log::{attrs, Activity, Log, LogBuilder};
+use wlq_pattern::Pattern;
+
+use crate::eval::Evaluator;
+
+/// The outcome of a bounded equivalence check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BoundedEquiv {
+    /// No distinguishing log exists within the bound.
+    EquivalentUpToBound,
+    /// A counterexample: the smallest enumerated log on which the two
+    /// patterns' incident sets differ.
+    Distinguished(Log),
+}
+
+impl BoundedEquiv {
+    /// `true` if no counterexample was found within the bound.
+    #[must_use]
+    pub fn holds(&self) -> bool {
+        matches!(self, BoundedEquiv::EquivalentUpToBound)
+    }
+}
+
+/// Checks `incL(p) = incL(q)` over every single-instance log of up to
+/// `max_len` task records drawn from the two patterns' activities plus
+/// one fresh activity.
+///
+/// # Panics
+///
+/// Panics if `max_len` would enumerate more than ~10⁷ logs
+/// (`alphabet^max_len` growth) — raise the bound consciously by calling
+/// with smaller patterns instead.
+///
+/// # Examples
+///
+/// ```
+/// use wlq_engine::equivalent_up_to;
+/// use wlq_pattern::Pattern;
+///
+/// let p: Pattern = "(A -> B) -> C".parse().unwrap();
+/// let q: Pattern = "A -> (B -> C)".parse().unwrap();
+/// assert!(equivalent_up_to(&p, &q, 5).holds()); // Theorem 2
+///
+/// let r: Pattern = "B -> A".parse().unwrap();
+/// let s: Pattern = "A -> B".parse().unwrap();
+/// assert!(!equivalent_up_to(&r, &s, 5).holds()); // not commutative
+/// ```
+#[must_use]
+pub fn equivalent_up_to(p: &Pattern, q: &Pattern, max_len: usize) -> BoundedEquiv {
+    // Combined alphabet plus a fresh activity for ¬t matches.
+    let mut alphabet: Vec<Activity> = p
+        .activities()
+        .into_iter()
+        .chain(q.activities())
+        .collect();
+    alphabet.sort();
+    alphabet.dedup();
+    let fresh = fresh_activity(&alphabet);
+    alphabet.push(fresh);
+
+    let a = alphabet.len() as u128;
+    let mut total: u128 = 0;
+    let mut power: u128 = 1;
+    for _ in 0..=max_len {
+        total += power;
+        power = power.saturating_mul(a);
+    }
+    assert!(
+        total <= 10_000_000,
+        "bounded check would enumerate {total} logs; shrink max_len or the patterns"
+    );
+
+    for len in 0..=max_len {
+        let mut indexes = vec![0usize; len];
+        loop {
+            let log = build_log(&alphabet, &indexes);
+            let eval = Evaluator::new(&log);
+            if eval.evaluate(p) != eval.evaluate(q) {
+                return BoundedEquiv::Distinguished(log);
+            }
+            // Next combination (odometer).
+            let mut carry = true;
+            for digit in &mut indexes {
+                if *digit + 1 < alphabet.len() {
+                    *digit += 1;
+                    carry = false;
+                    break;
+                }
+                *digit = 0;
+            }
+            if carry {
+                break;
+            }
+        }
+    }
+    BoundedEquiv::EquivalentUpToBound
+}
+
+fn fresh_activity(alphabet: &[Activity]) -> Activity {
+    let mut candidate = String::from("Z_fresh");
+    while alphabet.iter().any(|a| a.as_str() == candidate) {
+        candidate.push('_');
+    }
+    Activity::new(candidate)
+}
+
+fn build_log(alphabet: &[Activity], indexes: &[usize]) -> Log {
+    let mut b = LogBuilder::new();
+    let wid = b.start_instance();
+    for &i in indexes {
+        b.append(wid, alphabet[i].clone(), attrs! {}, attrs! {})
+            .expect("instance open");
+    }
+    b.build().expect("nonempty")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> Pattern {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn the_theorems_pass_the_bounded_check() {
+        // Theorem 2 (associativity) on each operator.
+        for op in ["~>", "->", "|", "&"] {
+            let p = parse(&format!("(A {op} B) {op} C"));
+            let q = parse(&format!("A {op} (B {op} C)"));
+            assert!(equivalent_up_to(&p, &q, 4).holds(), "{op}");
+        }
+        // Theorem 4 (mixed).
+        assert!(equivalent_up_to(
+            &parse("A ~> (B -> C)"),
+            &parse("(A ~> B) -> C"),
+            4
+        )
+        .holds());
+        // Theorem 5 (distributivity).
+        assert!(equivalent_up_to(
+            &parse("A & (B | C)"),
+            &parse("(A & B) | (A & C)"),
+            4
+        )
+        .holds());
+    }
+
+    #[test]
+    fn inequivalent_patterns_yield_counterexamples() {
+        let result = equivalent_up_to(&parse("A -> B"), &parse("B -> A"), 4);
+        let BoundedEquiv::Distinguished(log) = result else {
+            panic!("should be distinguished");
+        };
+        // The witness actually distinguishes them.
+        let eval = Evaluator::new(&log);
+        assert_ne!(eval.evaluate(&parse("A -> B")), eval.evaluate(&parse("B -> A")));
+        assert!(!equivalent_up_to(&parse("A ~> B"), &parse("A -> B"), 4).holds());
+        assert!(!equivalent_up_to(&parse("A | B"), &parse("A & B"), 4).holds());
+    }
+
+    #[test]
+    fn negation_needs_the_fresh_activity() {
+        // ¬A vs B: on logs over {A, B} alone they'd coincide; the fresh
+        // activity exposes the difference.
+        assert!(!equivalent_up_to(&parse("!A"), &parse("B"), 3).holds());
+        // But ¬A and ¬A are equivalent.
+        assert!(equivalent_up_to(&parse("!A"), &parse("!A"), 3).holds());
+    }
+
+    #[test]
+    fn choice_idempotence_holds() {
+        assert!(equivalent_up_to(&parse("A | A"), &parse("A"), 4).holds());
+        // Parallel self-composition is NOT idempotent.
+        assert!(!equivalent_up_to(&parse("A & A"), &parse("A"), 4).holds());
+    }
+
+    #[test]
+    #[should_panic(expected = "shrink max_len")]
+    fn enumeration_blowup_is_guarded() {
+        let p = parse("A | B | C | D | E | F | G | H");
+        let _ = equivalent_up_to(&p, &p, 12);
+    }
+}

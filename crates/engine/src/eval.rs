@@ -1,0 +1,338 @@
+//! The evaluator: strategies, leaf evaluation, and the per-instance
+//! recursive evaluation driver.
+
+use wlq_log::{Log, LogIndex, Wid};
+use wlq_pattern::{Atom, Op, Pattern};
+
+use crate::incident::Incident;
+use crate::incident_set::IncidentSet;
+use crate::{naive, optimized};
+
+/// Which operator implementations the evaluator uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Strategy {
+    /// The paper's Algorithm 1: nested-loop joins, `O(n1·n2)` per operator.
+    NaivePaper,
+    /// Index- and merge-based operators (output-sensitive where possible).
+    /// Produces identical incident sets; see `crate::optimized`.
+    #[default]
+    Optimized,
+}
+
+/// Combines two per-instance incident lists under `op` using `strategy`.
+///
+/// This is the dispatch point between the paper-faithful and optimized
+/// operator implementations; both produce the same sorted, deduplicated
+/// output.
+#[must_use]
+pub fn combine(
+    strategy: Strategy,
+    op: Op,
+    left: &[Incident],
+    right: &[Incident],
+) -> Vec<Incident> {
+    match (strategy, op) {
+        (Strategy::NaivePaper, Op::Consecutive) => naive::consecutive_eval(left, right),
+        (Strategy::NaivePaper, Op::Sequential) => naive::sequential_eval(left, right),
+        (Strategy::NaivePaper, Op::Choice) => naive::choice_eval(left, right),
+        (Strategy::NaivePaper, Op::Parallel) => naive::parallel_eval(left, right),
+        (Strategy::Optimized, Op::Consecutive) => optimized::consecutive_eval(left, right),
+        (Strategy::Optimized, Op::Sequential) => optimized::sequential_eval(left, right),
+        (Strategy::Optimized, Op::Choice) => optimized::choice_eval(left, right),
+        (Strategy::Optimized, Op::Parallel) => optimized::parallel_eval(left, right),
+    }
+}
+
+/// The incidents of an atomic pattern in one instance: every record whose
+/// activity matches (`t`), or doesn't (`¬t`), filtered by the atom's
+/// attribute predicates (extension).
+#[must_use]
+pub fn leaf_incidents(atom: &Atom, log: &Log, index: &LogIndex, wid: Wid) -> Vec<Incident> {
+    let positions = if atom.negated {
+        index.complement_postings(wid, atom.activity.as_str())
+    } else {
+        index.postings(wid, atom.activity.as_str()).to_vec()
+    };
+    positions
+        .into_iter()
+        .filter(|&p| {
+            atom.predicates.is_empty() || {
+                let record = log
+                    .record(wid, p)
+                    .expect("index positions exist in the log");
+                atom.predicates
+                    .iter()
+                    .all(|pred| pred.matches(record.input(), record.output()))
+            }
+        })
+        .map(|p| Incident::singleton(wid, p))
+        .collect()
+}
+
+/// Evaluates incident-pattern queries over one log.
+///
+/// Construction builds the per-instance activity index once
+/// ([`LogIndex`]); each [`evaluate`](Self::evaluate) call then runs in
+/// time bounded by Lemma 1 / Theorem 1.
+///
+/// # Examples
+///
+/// ```
+/// use wlq_engine::Evaluator;
+/// use wlq_log::paper;
+/// use wlq_pattern::Pattern;
+///
+/// let log = paper::figure3_log();
+/// let eval = Evaluator::new(&log);
+/// // "Any students updating their referral before being reimbursed?"
+/// let p: Pattern = "UpdateRefer -> GetReimburse".parse().unwrap();
+/// assert!(eval.exists(&p));
+/// assert_eq!(eval.count(&p), 1);
+/// ```
+#[derive(Debug)]
+pub struct Evaluator<'a> {
+    log: &'a Log,
+    index: LogIndex,
+    strategy: Strategy,
+}
+
+impl<'a> Evaluator<'a> {
+    /// Creates an evaluator with the default (optimized) strategy.
+    #[must_use]
+    pub fn new(log: &'a Log) -> Self {
+        Self::with_strategy(log, Strategy::default())
+    }
+
+    /// Creates an evaluator with an explicit strategy.
+    #[must_use]
+    pub fn with_strategy(log: &'a Log, strategy: Strategy) -> Self {
+        Evaluator { log, index: LogIndex::build(log), strategy }
+    }
+
+    /// The log being queried.
+    #[must_use]
+    pub fn log(&self) -> &'a Log {
+        self.log
+    }
+
+    /// The evaluator's activity index.
+    #[must_use]
+    pub fn index(&self) -> &LogIndex {
+        &self.index
+    }
+
+    /// The active strategy.
+    #[must_use]
+    pub fn strategy(&self) -> Strategy {
+        self.strategy
+    }
+
+    /// Computes `incL(p)`: all incidents of `p` in the log.
+    #[must_use]
+    pub fn evaluate(&self, pattern: &Pattern) -> IncidentSet {
+        let mut parts = Vec::new();
+        for wid in self.index.wids() {
+            parts.push((wid, self.evaluate_instance(pattern, wid)));
+        }
+        IncidentSet::from_partitions(parts)
+    }
+
+    /// Computes the incidents of `p` within a single instance.
+    #[must_use]
+    pub fn evaluate_instance(&self, pattern: &Pattern, wid: Wid) -> Vec<Incident> {
+        match pattern {
+            Pattern::Atom(atom) => leaf_incidents(atom, self.log, &self.index, wid),
+            Pattern::Binary { op, left, right } => {
+                let l = self.evaluate_instance(left, wid);
+                // Short-circuit: for the three conjunctive operators an
+                // empty side forces an empty result.
+                if l.is_empty() && *op != Op::Choice {
+                    return Vec::new();
+                }
+                let r = self.evaluate_instance(right, wid);
+                combine(self.strategy, *op, &l, &r)
+            }
+        }
+    }
+
+    /// Whether any incident of `p` exists (early-exits per instance).
+    #[must_use]
+    pub fn exists(&self, pattern: &Pattern) -> bool {
+        self.index
+            .wids()
+            .any(|wid| !self.evaluate_instance(pattern, wid).is_empty())
+    }
+
+    /// Number of incidents of `p` in the log, `|incL(p)|`.
+    #[must_use]
+    pub fn count(&self, pattern: &Pattern) -> usize {
+        self.index
+            .wids()
+            .map(|wid| self.evaluate_instance(pattern, wid).len())
+            .sum()
+    }
+
+    /// The instances containing at least one incident of `p`.
+    #[must_use]
+    pub fn matching_instances(&self, pattern: &Pattern) -> Vec<Wid> {
+        self.index
+            .wids()
+            .filter(|&wid| !self.evaluate_instance(pattern, wid).is_empty())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wlq_log::paper;
+
+    fn parse(s: &str) -> Pattern {
+        s.parse().unwrap()
+    }
+
+    fn fig3_eval(strategy: Strategy) -> (Log, Strategy) {
+        (paper::figure3_log(), strategy)
+    }
+
+    #[test]
+    fn example3_update_before_reimburse() {
+        // incL(UpdateRefer → GetReimburse) = {{l14, l20}}.
+        let log = paper::figure3_log();
+        for strategy in [Strategy::NaivePaper, Strategy::Optimized] {
+            let eval = Evaluator::with_strategy(&log, strategy);
+            let set = eval.evaluate(&parse("UpdateRefer -> GetReimburse"));
+            assert_eq!(set.len(), 1);
+            let o = set.iter().next().unwrap();
+            let lsns: Vec<u64> = o
+                .positions()
+                .iter()
+                .map(|&p| log.record(o.wid(), p).unwrap().lsn().get())
+                .collect();
+            assert_eq!(lsns, vec![14, 20]);
+        }
+    }
+
+    #[test]
+    fn example3_second_pattern_corrected() {
+        // The paper's Example 3 says {l13, l14, l19} but l19 is
+        // TakeTreatment; Definition 4 (and the paper's own Example 5)
+        // give {l13, l14, l20}.
+        let log = paper::figure3_log();
+        let eval = Evaluator::new(&log);
+        let set = eval.evaluate(&parse("SeeDoctor -> (UpdateRefer -> GetReimburse)"));
+        assert_eq!(set.len(), 1);
+        let o = set.iter().next().unwrap();
+        let lsns: Vec<u64> = o
+            .positions()
+            .iter()
+            .map(|&p| log.record(o.wid(), p).unwrap().lsn().get())
+            .collect();
+        assert_eq!(lsns, vec![13, 14, 20]);
+    }
+
+    #[test]
+    fn atomic_patterns_count_matching_records() {
+        let (log, s) = fig3_eval(Strategy::Optimized);
+        let eval = Evaluator::with_strategy(&log, s);
+        assert_eq!(eval.count(&parse("SeeDoctor")), 4);
+        assert_eq!(eval.count(&parse("START")), 3);
+        assert_eq!(eval.count(&parse("Missing")), 0);
+        assert_eq!(eval.count(&parse("!START")), 17);
+    }
+
+    #[test]
+    fn consecutive_vs_sequential_on_figure3() {
+        let log = paper::figure3_log();
+        let eval = Evaluator::new(&log);
+        // SeeDoctor immediately followed by PayTreatment: wid1 twice
+        // (l9-l10, l11-l12) and wid2 once (l17-l18).
+        assert_eq!(eval.count(&parse("SeeDoctor ~> PayTreatment")), 3);
+        // With gaps allowed there are more.
+        let seq = eval.count(&parse("SeeDoctor -> PayTreatment"));
+        assert!(seq > 3, "sequential should dominate consecutive, got {seq}");
+    }
+
+    #[test]
+    fn choice_counts_union() {
+        let log = paper::figure3_log();
+        let eval = Evaluator::new(&log);
+        assert_eq!(
+            eval.count(&parse("SeeDoctor | UpdateRefer")),
+            eval.count(&parse("SeeDoctor")) + eval.count(&parse("UpdateRefer"))
+        );
+        // Choice of a pattern with itself deduplicates.
+        assert_eq!(eval.count(&parse("SeeDoctor | SeeDoctor")), 4);
+    }
+
+    #[test]
+    fn parallel_requires_distinct_records() {
+        let log = paper::figure3_log();
+        let eval = Evaluator::new(&log);
+        // SeeDoctor ⊕ SeeDoctor: ordered pairs of distinct SeeDoctor
+        // records of one instance: wid1 has 2 (2 ordered pairs), wid2 has
+        // 2 — but incidents are *sets*, so {a,b} = {b,a}: 1 per instance…
+        // each unordered pair appears once after dedup.
+        assert_eq!(eval.count(&parse("SeeDoctor & SeeDoctor")), 2);
+    }
+
+    #[test]
+    fn exists_and_matching_instances() {
+        let log = paper::figure3_log();
+        let eval = Evaluator::new(&log);
+        assert!(eval.exists(&parse("UpdateRefer -> GetReimburse")));
+        assert!(!eval.exists(&parse("GetReimburse -> UpdateRefer")));
+        assert_eq!(
+            eval.matching_instances(&parse("GetRefer")),
+            vec![Wid(1), Wid(2), Wid(3)]
+        );
+        assert_eq!(
+            eval.matching_instances(&parse("UpdateRefer")),
+            vec![Wid(2)]
+        );
+    }
+
+    #[test]
+    fn predicates_filter_leaves() {
+        // The intro query: referrals with balance > 5000 — none initially,
+        // but > 900 matches wid 1 and 2.
+        let log = paper::figure3_log();
+        let eval = Evaluator::new(&log);
+        assert_eq!(eval.count(&parse("GetRefer[out.balance > 5000]")), 0);
+        assert_eq!(eval.count(&parse("GetRefer[out.balance > 900]")), 2);
+        assert_eq!(eval.count(&parse("GetRefer[out.balance > 100]")), 3);
+        // The update raised wid 2's balance to 5000: visible at UpdateRefer.
+        assert_eq!(eval.count(&parse("UpdateRefer[out.balance >= 5000]")), 1);
+    }
+
+    #[test]
+    fn strategies_agree_on_a_pattern_battery() {
+        let log = paper::figure3_log();
+        let naive = Evaluator::with_strategy(&log, Strategy::NaivePaper);
+        let opt = Evaluator::with_strategy(&log, Strategy::Optimized);
+        for src in [
+            "GetRefer ~> CheckIn",
+            "GetRefer -> GetReimburse",
+            "SeeDoctor & PayTreatment",
+            "(GetRefer -> CheckIn) | (SeeDoctor ~> PayTreatment)",
+            "!CheckIn ~> SeeDoctor",
+            "START -> (UpdateRefer | CompleteRefer)",
+            "(SeeDoctor & SeeDoctor) -> GetReimburse",
+        ] {
+            let p = parse(src);
+            assert_eq!(naive.evaluate(&p), opt.evaluate(&p), "mismatch on {src}");
+        }
+    }
+
+    #[test]
+    fn empty_side_short_circuit_is_semantically_neutral() {
+        let log = paper::figure3_log();
+        let eval = Evaluator::new(&log);
+        // Left side never matches: conjunctive composites are empty…
+        assert_eq!(eval.count(&parse("Nope ~> SeeDoctor")), 0);
+        assert_eq!(eval.count(&parse("Nope -> SeeDoctor")), 0);
+        assert_eq!(eval.count(&parse("Nope & SeeDoctor")), 0);
+        // …but choice still yields the right side.
+        assert_eq!(eval.count(&parse("Nope | SeeDoctor")), 4);
+    }
+}

@@ -1,0 +1,189 @@
+//! `EXPLAIN`-style plan reports: the optimizer's estimates side by side
+//! with per-node actuals from a traced evaluation.
+
+use std::fmt;
+use std::time::Duration;
+
+use wlq_log::{Log, LogIndex, LogStats};
+use wlq_pattern::{CostModel, Optimizer, Pattern};
+
+use crate::eval::Strategy;
+use crate::incident_set::IncidentSet;
+use crate::tree::IncidentTree;
+
+/// One row of an [`Explain`] report: a node of the evaluated plan.
+#[derive(Debug, Clone)]
+pub struct ExplainRow {
+    /// The sub-pattern, as text.
+    pub pattern: String,
+    /// Tree depth (root = 0).
+    pub depth: usize,
+    /// The cost model's estimated incident count for this node.
+    pub estimated: f64,
+    /// The actual incident count produced.
+    pub actual: usize,
+    /// Wall-clock time spent at this node (children excluded).
+    pub elapsed: Duration,
+}
+
+/// The result of [`Explain::run`]: what plan ran, what each node cost,
+/// and how good the estimates were.
+#[derive(Debug, Clone)]
+pub struct Explain {
+    /// The query as written.
+    pub query: String,
+    /// The plan that ran (after optimization, if enabled).
+    pub plan: String,
+    /// Per-node rows in post-order (evaluation order).
+    pub rows: Vec<ExplainRow>,
+    /// The final incident set.
+    pub incidents: IncidentSet,
+}
+
+impl Explain {
+    /// Evaluates `pattern` over `log` with per-node tracing, optionally
+    /// applying the algebraic optimizer first, and returns the annotated
+    /// plan.
+    #[must_use]
+    pub fn run(log: &Log, pattern: &Pattern, optimize: bool, strategy: Strategy) -> Explain {
+        let stats = LogStats::compute(log);
+        let optimizer = Optimizer::new(stats);
+        let plan = if optimize { optimizer.optimize(pattern) } else { pattern.clone() };
+        let model = optimizer.model();
+
+        let index = LogIndex::build(log);
+        let tree = IncidentTree::from_pattern(&plan);
+        let (incidents, trace) = tree.evaluate_traced(log, &index, strategy);
+
+        let rows = trace
+            .nodes
+            .iter()
+            .map(|node| {
+                let sub: Pattern = node
+                    .pattern
+                    .parse()
+                    .expect("trace patterns are printable and re-parsable");
+                ExplainRow {
+                    pattern: node.pattern.clone(),
+                    depth: node.depth,
+                    estimated: estimate(model, &sub),
+                    actual: node.incidents.len(),
+                    elapsed: node.elapsed,
+                }
+            })
+            .collect();
+
+        Explain {
+            query: pattern.to_string(),
+            plan: plan.to_string(),
+            rows,
+            incidents,
+        }
+    }
+
+    /// The worst estimate-vs-actual ratio across nodes (≥ 1; 1 = perfect).
+    /// Nodes where both sides are zero count as perfect.
+    #[must_use]
+    pub fn max_estimation_error(&self) -> f64 {
+        self.rows
+            .iter()
+            .map(|row| {
+                let est = row.estimated.max(1.0);
+                #[allow(clippy::cast_precision_loss)]
+                let act = (row.actual as f64).max(1.0);
+                (est / act).max(act / est)
+            })
+            .fold(1.0, f64::max)
+    }
+}
+
+fn estimate(model: &CostModel, pattern: &Pattern) -> f64 {
+    model.estimate_incidents(pattern)
+}
+
+impl fmt::Display for Explain {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "query: {}", self.query)?;
+        writeln!(f, "plan : {}", self.plan)?;
+        writeln!(f, "{:>10} {:>10} {:>12}  node", "est", "actual", "time")?;
+        for row in &self.rows {
+            writeln!(
+                f,
+                "{:>10.1} {:>10} {:>12?}  {:indent$}{}",
+                row.estimated,
+                row.actual,
+                row.elapsed,
+                "",
+                row.pattern,
+                indent = row.depth * 2,
+            )?;
+        }
+        writeln!(f, "total: {} incidents", self.incidents.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::Evaluator;
+    use wlq_log::paper;
+
+    fn parse(s: &str) -> Pattern {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn explain_matches_plain_evaluation() {
+        let log = paper::figure3_log();
+        let p = parse("SeeDoctor -> (UpdateRefer -> GetReimburse)");
+        let explain = Explain::run(&log, &p, false, Strategy::Optimized);
+        assert_eq!(explain.incidents, Evaluator::new(&log).evaluate(&p));
+        assert_eq!(explain.rows.len(), 5);
+        assert_eq!(explain.plan, explain.query);
+    }
+
+    #[test]
+    fn leaf_estimates_are_exact_on_atoms() {
+        let log = paper::figure3_log();
+        let explain = Explain::run(&log, &parse("SeeDoctor"), false, Strategy::Optimized);
+        assert_eq!(explain.rows.len(), 1);
+        assert!((explain.rows[0].estimated - 4.0).abs() < 1e-9);
+        assert_eq!(explain.rows[0].actual, 4);
+        assert!((explain.max_estimation_error() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn optimized_plan_is_reported_when_it_differs() {
+        let log = paper::figure3_log();
+        let p = parse("(SeeDoctor -> PayTreatment) | (SeeDoctor -> UpdateRefer)");
+        let explain = Explain::run(&log, &p, true, Strategy::Optimized);
+        assert_eq!(explain.query, p.to_string());
+        assert_eq!(explain.plan, "SeeDoctor -> (PayTreatment | UpdateRefer)");
+        // Still the same result.
+        assert_eq!(explain.incidents, Evaluator::new(&log).evaluate(&p));
+    }
+
+    #[test]
+    fn display_renders_a_table() {
+        let log = paper::figure3_log();
+        let explain = Explain::run(&log, &parse("UpdateRefer -> GetReimburse"), false, Strategy::Optimized);
+        let text = explain.to_string();
+        assert!(text.contains("query: UpdateRefer -> GetReimburse"));
+        assert!(text.contains("total: 1 incidents"));
+        assert!(text.contains("UpdateRefer"));
+    }
+
+    #[test]
+    fn estimation_error_is_bounded_on_the_example_log() {
+        let log = paper::figure3_log();
+        let explain = Explain::run(
+            &log,
+            &parse("SeeDoctor -> PayTreatment"),
+            false,
+            Strategy::Optimized,
+        );
+        // Estimates are heuristic but should be within two orders of
+        // magnitude on this tiny log.
+        assert!(explain.max_estimation_error() < 100.0);
+    }
+}

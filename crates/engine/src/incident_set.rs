@@ -1,0 +1,248 @@
+//! Incident sets: `incL(p)`, grouped by workflow instance.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use wlq_log::Wid;
+
+use crate::incident::Incident;
+
+/// The set of all incidents of a pattern in a log (`incL(p)`), partitioned
+/// by workflow instance.
+///
+/// Incidents never span instances (Definition 4 requires
+/// `wid(o1) = wid(o2)`), so the per-`wid` partition is lossless and is the
+/// unit of work for partitioned parallel evaluation. Within an instance,
+/// incidents are kept sorted (by `first`, then full position vector — the
+/// ordering the paper's Algorithm 1 assumes) and deduplicated (incident
+/// *sets* contain each set of records once).
+///
+/// # Examples
+///
+/// ```
+/// use wlq_engine::{Incident, IncidentSet};
+/// use wlq_log::{IsLsn, Wid};
+///
+/// let mut set = IncidentSet::new();
+/// set.insert(Incident::singleton(Wid(1), IsLsn(4)));
+/// set.insert(Incident::singleton(Wid(2), IsLsn(2)));
+/// set.insert(Incident::singleton(Wid(1), IsLsn(4))); // duplicate, ignored
+/// assert_eq!(set.len(), 2);
+/// assert_eq!(set.for_wid(Wid(1)).len(), 1);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct IncidentSet {
+    by_wid: BTreeMap<Wid, Vec<Incident>>,
+}
+
+impl IncidentSet {
+    /// Creates an empty incident set.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a set from per-instance incident lists.
+    ///
+    /// Each list is sorted and deduplicated; empty lists are dropped.
+    #[must_use]
+    pub fn from_partitions(parts: impl IntoIterator<Item = (Wid, Vec<Incident>)>) -> Self {
+        let mut by_wid = BTreeMap::new();
+        for (wid, mut incidents) in parts {
+            incidents.sort_unstable();
+            incidents.dedup();
+            if !incidents.is_empty() {
+                by_wid.insert(wid, incidents);
+            }
+        }
+        IncidentSet { by_wid }
+    }
+
+    /// Total number of incidents across all instances.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.by_wid.values().map(Vec::len).sum()
+    }
+
+    /// Whether the set holds no incidents (the query found nothing).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.by_wid.is_empty()
+    }
+
+    /// Inserts an incident, keeping per-instance order and uniqueness.
+    /// Returns `true` if it was new.
+    pub fn insert(&mut self, incident: Incident) -> bool {
+        let list = self.by_wid.entry(incident.wid()).or_default();
+        match list.binary_search(&incident) {
+            Ok(_) => false,
+            Err(pos) => {
+                list.insert(pos, incident);
+                true
+            }
+        }
+    }
+
+    /// Whether `incident` is in the set.
+    #[must_use]
+    pub fn contains(&self, incident: &Incident) -> bool {
+        self.by_wid
+            .get(&incident.wid())
+            .is_some_and(|list| list.binary_search(incident).is_ok())
+    }
+
+    /// The incidents of one instance, sorted (empty slice if none).
+    #[must_use]
+    pub fn for_wid(&self, wid: Wid) -> &[Incident] {
+        self.by_wid.get(&wid).map_or(&[], Vec::as_slice)
+    }
+
+    /// The instances that have at least one incident, ascending.
+    pub fn wids(&self) -> impl Iterator<Item = Wid> + '_ {
+        self.by_wid.keys().copied()
+    }
+
+    /// Iterates over all incidents, by instance then in-instance order.
+    pub fn iter(&self) -> impl Iterator<Item = &Incident> {
+        self.by_wid.values().flatten()
+    }
+
+    /// Number of instances with at least one incident.
+    #[must_use]
+    pub fn num_matched_instances(&self) -> usize {
+        self.by_wid.len()
+    }
+
+    /// Per-instance incident counts.
+    #[must_use]
+    pub fn counts_by_wid(&self) -> BTreeMap<Wid, usize> {
+        self.by_wid.iter().map(|(w, v)| (*w, v.len())).collect()
+    }
+
+    /// Consumes the set into its per-instance partitions.
+    #[must_use]
+    pub fn into_partitions(self) -> BTreeMap<Wid, Vec<Incident>> {
+        self.by_wid
+    }
+
+    /// Merges another incident set into this one (set union).
+    pub fn merge(&mut self, other: IncidentSet) {
+        for (wid, incidents) in other.by_wid {
+            let list = self.by_wid.entry(wid).or_default();
+            list.extend(incidents);
+            list.sort_unstable();
+            list.dedup();
+        }
+    }
+}
+
+impl FromIterator<Incident> for IncidentSet {
+    fn from_iter<I: IntoIterator<Item = Incident>>(iter: I) -> Self {
+        let mut set = IncidentSet::new();
+        for incident in iter {
+            set.insert(incident);
+        }
+        set
+    }
+}
+
+impl Extend<Incident> for IncidentSet {
+    fn extend<I: IntoIterator<Item = Incident>>(&mut self, iter: I) {
+        for incident in iter {
+            self.insert(incident);
+        }
+    }
+}
+
+impl<'a> IntoIterator for &'a IncidentSet {
+    type Item = &'a Incident;
+    type IntoIter = Box<dyn Iterator<Item = &'a Incident> + 'a>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        Box::new(self.iter())
+    }
+}
+
+impl fmt::Display for IncidentSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, incident) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{incident}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wlq_log::IsLsn;
+
+    fn inc(wid: u64, ps: &[u32]) -> Incident {
+        Incident::from_positions(Wid(wid), ps.iter().map(|&p| IsLsn(p)).collect())
+    }
+
+    #[test]
+    fn insert_dedups_and_sorts() {
+        let mut set = IncidentSet::new();
+        assert!(set.insert(inc(1, &[5])));
+        assert!(set.insert(inc(1, &[2])));
+        assert!(!set.insert(inc(1, &[5])));
+        assert_eq!(set.len(), 2);
+        assert_eq!(set.for_wid(Wid(1)), &[inc(1, &[2]), inc(1, &[5])]);
+    }
+
+    #[test]
+    fn from_partitions_drops_empty_and_dedups() {
+        let set = IncidentSet::from_partitions(vec![
+            (Wid(1), vec![inc(1, &[5]), inc(1, &[2]), inc(1, &[5])]),
+            (Wid(2), vec![]),
+        ]);
+        assert_eq!(set.len(), 2);
+        assert_eq!(set.num_matched_instances(), 1);
+        assert!(set.for_wid(Wid(2)).is_empty());
+    }
+
+    #[test]
+    fn contains_and_wids() {
+        let set: IncidentSet = vec![inc(1, &[1]), inc(3, &[2])].into_iter().collect();
+        assert!(set.contains(&inc(1, &[1])));
+        assert!(!set.contains(&inc(2, &[1])));
+        assert_eq!(set.wids().collect::<Vec<_>>(), vec![Wid(1), Wid(3)]);
+    }
+
+    #[test]
+    fn merge_is_set_union() {
+        let mut a: IncidentSet = vec![inc(1, &[1]), inc(1, &[2])].into_iter().collect();
+        let b: IncidentSet = vec![inc(1, &[2]), inc(2, &[1])].into_iter().collect();
+        a.merge(b);
+        assert_eq!(a.len(), 3);
+    }
+
+    #[test]
+    fn counts_by_wid_reports_per_instance() {
+        let set: IncidentSet =
+            vec![inc(1, &[1]), inc(1, &[2]), inc(2, &[9])].into_iter().collect();
+        let counts = set.counts_by_wid();
+        assert_eq!(counts[&Wid(1)], 2);
+        assert_eq!(counts[&Wid(2)], 1);
+    }
+
+    #[test]
+    fn display_lists_incidents() {
+        let set: IncidentSet = vec![inc(2, &[5, 9])].into_iter().collect();
+        assert_eq!(set.to_string(), "{{5, 9}@wid2}");
+        assert_eq!(IncidentSet::new().to_string(), "{}");
+    }
+
+    #[test]
+    fn iteration_orders_by_wid_then_first() {
+        let set: IncidentSet =
+            vec![inc(2, &[1]), inc(1, &[7]), inc(1, &[3])].into_iter().collect();
+        let order: Vec<String> = set.iter().map(ToString::to_string).collect();
+        assert_eq!(order, ["{3}@wid1", "{7}@wid1", "{1}@wid2"]);
+    }
+}

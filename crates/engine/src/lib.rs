@@ -1,0 +1,69 @@
+//! # wlq-engine — incident-pattern query evaluation
+//!
+//! The evaluation half of *"Querying Workflow Logs"*: given a
+//! [`wlq_pattern::Pattern`] and a [`wlq_log::Log`], compute the incident
+//! set `incL(p)` of Definition 4.
+//!
+//! * [`Incident`] / [`IncidentSet`] — the semantic objects.
+//! * [`naive`] — the paper's Algorithm 1 operators, complexity-faithful.
+//! * [`optimized`] — output-sensitive operator implementations producing
+//!   identical results.
+//! * [`IncidentTree`] — Definition 6 trees with post-order evaluation
+//!   (Algorithms 2–3) and per-node traces.
+//! * [`Evaluator`] — the per-instance recursive evaluator with
+//!   short-circuiting; [`evaluate_parallel`] distributes instances over
+//!   threads.
+//! * [`StreamingEvaluator`] — incremental evaluation over an append-only
+//!   log (runtime monitoring).
+//! * [`Query`] — parse-once, run-many facade with counting/grouping
+//!   projections and algebraic pre-optimization.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use wlq_engine::Query;
+//! use wlq_log::paper;
+//!
+//! let log = paper::figure3_log();
+//! let anomalies = Query::parse("UpdateRefer -> GetReimburse")?;
+//! assert_eq!(anomalies.count(&log), 1); // instance 2 misbehaves
+//! # Ok::<(), wlq_pattern::ParsePatternError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+mod bindings;
+mod bounded_equiv;
+mod counting;
+mod eval;
+mod explain;
+mod incident;
+mod incident_set;
+mod mining;
+mod parallel;
+mod query;
+mod resolve;
+mod spans;
+mod streaming;
+mod timeline;
+mod tree;
+
+pub mod naive;
+pub mod optimized;
+
+pub use bindings::{BoundIncident, LabelledPattern};
+pub use bounded_equiv::{equivalent_up_to, BoundedEquiv};
+pub use counting::fast_count;
+pub use eval::{combine, leaf_incidents, Evaluator, Strategy};
+pub use explain::{Explain, ExplainRow};
+pub use mining::{mine_relations, MinedRelation};
+pub use incident::Incident;
+pub use incident_set::IncidentSet;
+pub use parallel::evaluate_parallel;
+pub use query::{Query, QueryProfile};
+pub use resolve::{IncidentInLog, IncidentSetInLog};
+pub use spans::SpanStats;
+pub use streaming::{SharedStreamingEvaluator, StreamingEvaluator};
+pub use timeline::{timeline, TimelinePoint};
+pub use tree::{EvalTrace, IncidentTree, Node, NodeTrace};

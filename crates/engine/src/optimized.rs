@@ -1,0 +1,200 @@
+//! Index- and merge-based operator implementations.
+//!
+//! The paper's Algorithm 1 enumerates all `n1·n2` pairs for every operator.
+//! These variants are *output-sensitive* where possible:
+//!
+//! * **consecutive** — hash join on `first(o2) = last(o1) + 1`:
+//!   `O(n1 + n2 + |out|)`.
+//! * **sequential** — inputs are sorted by `first`; for each `o1` a binary
+//!   search finds the first compatible `o2`, and only matching pairs are
+//!   enumerated: `O((n1 + n2) log n2 + |out|)`.
+//! * **choice** — sorted-merge union: `O((n1 + n2) · k)`.
+//! * **parallel** — pair enumeration is unavoidable, but the disjointness
+//!   check short-circuits on non-overlapping ranges, making the common
+//!   (ordered) case `O(1)` per pair.
+//!
+//! All functions assume both inputs are sorted by `(first, …)` (the
+//! invariant maintained by every operator's output) and produce sorted,
+//! deduplicated output. Equivalence with the naive operators is enforced
+//! by unit tests here and property tests in the workspace test suite.
+
+use std::collections::HashMap;
+
+use wlq_log::IsLsn;
+
+use crate::incident::Incident;
+
+/// Output-sensitive consecutive join (`last(o1) + 1 = first(o2)`).
+#[must_use]
+pub fn consecutive_eval(inc1: &[Incident], inc2: &[Incident]) -> Vec<Incident> {
+    // Bucket right incidents by their first position.
+    let mut by_first: HashMap<IsLsn, Vec<&Incident>> = HashMap::with_capacity(inc2.len());
+    for o2 in inc2 {
+        by_first.entry(o2.first()).or_default().push(o2);
+    }
+    let mut out = Vec::new();
+    for o1 in inc1 {
+        if let Some(matches) = by_first.get(&o1.last().next()) {
+            for o2 in matches {
+                out.push(o1.union(o2));
+            }
+        }
+    }
+    finish(out)
+}
+
+/// Output-sensitive sequential join (`last(o1) < first(o2)`).
+#[must_use]
+pub fn sequential_eval(inc1: &[Incident], inc2: &[Incident]) -> Vec<Incident> {
+    debug_assert!(is_sorted_by_first(inc2), "right input must be sorted by first");
+    let mut out = Vec::new();
+    for o1 in inc1 {
+        // First index in inc2 whose first() > last(o1).
+        let start = partition_point_first_gt(inc2, o1.last());
+        for o2 in &inc2[start..] {
+            out.push(o1.union(o2));
+        }
+    }
+    finish(out)
+}
+
+/// Sorted-merge duplicate-eliminating union (Definition 4 choice).
+#[must_use]
+pub fn choice_eval(inc1: &[Incident], inc2: &[Incident]) -> Vec<Incident> {
+    debug_assert!(inc1.is_sorted(), "left input must be sorted");
+    debug_assert!(inc2.is_sorted(), "right input must be sorted");
+    let mut out = Vec::with_capacity(inc1.len() + inc2.len());
+    let (mut i, mut j) = (0, 0);
+    while i < inc1.len() && j < inc2.len() {
+        match inc1[i].cmp(&inc2[j]) {
+            std::cmp::Ordering::Less => {
+                out.push(inc1[i].clone());
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                out.push(inc2[j].clone());
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                out.push(inc1[i].clone());
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out.extend_from_slice(&inc1[i..]);
+    out.extend_from_slice(&inc2[j..]);
+    out
+}
+
+/// Parallel join with range short-circuiting.
+#[must_use]
+pub fn parallel_eval(inc1: &[Incident], inc2: &[Incident]) -> Vec<Incident> {
+    let mut out = Vec::new();
+    for o1 in inc1 {
+        for o2 in inc2 {
+            // `is_disjoint` already short-circuits on disjoint ranges; most
+            // pairs in practice are range-disjoint so this pair loop is
+            // cheap even though it cannot be asymptotically avoided
+            // (every pair may genuinely produce output).
+            if o1.is_disjoint(o2) {
+                out.push(o1.union(o2));
+            }
+        }
+    }
+    finish(out)
+}
+
+fn is_sorted_by_first(incidents: &[Incident]) -> bool {
+    incidents.windows(2).all(|w| w[0].first() <= w[1].first())
+}
+
+/// First index whose `first()` exceeds `bound`, assuming sort by `first`.
+fn partition_point_first_gt(incidents: &[Incident], bound: IsLsn) -> usize {
+    incidents.partition_point(|o| o.first() <= bound)
+}
+
+fn finish(mut out: Vec<Incident>) -> Vec<Incident> {
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive;
+    use wlq_log::Wid;
+
+    fn inc(ps: &[u32]) -> Incident {
+        Incident::from_positions(Wid(1), ps.iter().map(|&p| IsLsn(p)).collect())
+    }
+
+    /// Builds an interesting, sorted incident list fixture.
+    fn fixture_a() -> Vec<Incident> {
+        let mut v = vec![
+            inc(&[1]),
+            inc(&[1, 2]),
+            inc(&[2]),
+            inc(&[3, 5]),
+            inc(&[4]),
+            inc(&[6, 7, 8]),
+        ];
+        v.sort_unstable();
+        v
+    }
+
+    fn fixture_b() -> Vec<Incident> {
+        let mut v = vec![inc(&[2, 3]), inc(&[3]), inc(&[5]), inc(&[6]), inc(&[9])];
+        v.sort_unstable();
+        v
+    }
+
+    #[test]
+    fn consecutive_matches_naive() {
+        let (a, b) = (fixture_a(), fixture_b());
+        assert_eq!(consecutive_eval(&a, &b), naive::consecutive_eval(&a, &b));
+        assert_eq!(consecutive_eval(&b, &a), naive::consecutive_eval(&b, &a));
+    }
+
+    #[test]
+    fn sequential_matches_naive() {
+        let (a, b) = (fixture_a(), fixture_b());
+        assert_eq!(sequential_eval(&a, &b), naive::sequential_eval(&a, &b));
+        assert_eq!(sequential_eval(&b, &a), naive::sequential_eval(&b, &a));
+    }
+
+    #[test]
+    fn choice_matches_naive() {
+        let (a, b) = (fixture_a(), fixture_b());
+        assert_eq!(choice_eval(&a, &b), naive::choice_eval(&a, &b));
+        // Overlapping inputs exercise the dedup path.
+        assert_eq!(choice_eval(&a, &a), naive::choice_eval(&a, &a));
+        assert_eq!(choice_eval(&a, &a), a);
+    }
+
+    #[test]
+    fn parallel_matches_naive() {
+        let (a, b) = (fixture_a(), fixture_b());
+        assert_eq!(parallel_eval(&a, &b), naive::parallel_eval(&a, &b));
+        assert_eq!(parallel_eval(&a, &a), naive::parallel_eval(&a, &a));
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let a = fixture_a();
+        assert!(consecutive_eval(&[], &a).is_empty());
+        assert!(sequential_eval(&a, &[]).is_empty());
+        assert_eq!(choice_eval(&[], &a), a);
+        assert!(parallel_eval(&[], &a).is_empty());
+    }
+
+    #[test]
+    fn sequential_binary_search_boundary() {
+        // o1.last() equal to some firsts: strict inequality must hold.
+        let left = vec![inc(&[3])];
+        let right = vec![inc(&[3]), inc(&[3, 9]), inc(&[4])];
+        let out = sequential_eval(&left, &right);
+        assert_eq!(out, vec![inc(&[3, 4])]);
+    }
+}

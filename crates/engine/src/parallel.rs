@@ -1,0 +1,183 @@
+//! Partitioned parallel evaluation.
+//!
+//! Incidents never span workflow instances, so `incL(p)` decomposes into
+//! independent per-instance subproblems (the paper's Algorithm 2 iterates
+//! over `widSet` sequentially). [`evaluate_parallel`] distributes the
+//! instances over worker threads with [`crossbeam`] scoped threads and a
+//! shared atomic work queue, then merges the per-instance results.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use wlq_log::{Log, Wid};
+use wlq_pattern::Pattern;
+
+use crate::eval::{Evaluator, Strategy};
+use crate::incident::Incident;
+use crate::incident_set::IncidentSet;
+
+/// Evaluates `pattern` over `log` using up to `num_threads` workers.
+///
+/// Produces exactly the same incident set as
+/// [`Evaluator::evaluate`]; instances are claimed from a shared queue so
+/// skewed instance sizes still balance.
+///
+/// # Panics
+///
+/// Panics if `num_threads` is 0 or if a worker thread panics.
+///
+/// # Examples
+///
+/// ```
+/// use wlq_engine::{evaluate_parallel, Evaluator, Strategy};
+/// use wlq_log::paper;
+/// use wlq_pattern::Pattern;
+///
+/// let log = paper::figure3_log();
+/// let p: Pattern = "SeeDoctor -> PayTreatment".parse().unwrap();
+/// let par = evaluate_parallel(&log, &p, 4, Strategy::Optimized);
+/// assert_eq!(par, Evaluator::new(&log).evaluate(&p));
+/// ```
+#[must_use]
+pub fn evaluate_parallel(
+    log: &Log,
+    pattern: &Pattern,
+    num_threads: usize,
+    strategy: Strategy,
+) -> IncidentSet {
+    Evaluator::with_strategy(log, strategy).evaluate_parallel(pattern, num_threads)
+}
+
+impl Evaluator<'_> {
+    /// Multi-threaded [`evaluate`](Evaluator::evaluate): instances are
+    /// claimed from a shared queue by up to `num_threads` crossbeam scoped
+    /// threads. Reuses this evaluator's prebuilt index, so repeated
+    /// parallel queries pay the indexing cost once.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_threads` is 0 or a worker panics.
+    #[must_use]
+    pub fn evaluate_parallel(&self, pattern: &Pattern, num_threads: usize) -> IncidentSet {
+        assert!(num_threads > 0, "need at least one worker thread");
+        let wids: Vec<Wid> = self.index().wids().collect();
+        if num_threads == 1 || wids.len() <= 1 {
+            return self.evaluate(pattern);
+        }
+
+        let next = AtomicUsize::new(0);
+        let workers = num_threads.min(wids.len());
+        let results: Vec<Vec<(Wid, Vec<Incident>)>> = crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    let wids = &wids;
+                    let next = &next;
+                    scope.spawn(move |_| {
+                        let mut out = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            let Some(&wid) = wids.get(i) else { break };
+                            out.push((wid, self.evaluate_instance(pattern, wid)));
+                        }
+                        out
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker thread panicked"))
+                .collect()
+        })
+        .expect("crossbeam scope panicked");
+
+        IncidentSet::from_partitions(results.into_iter().flatten())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wlq_log::{attrs, paper, LogBuilder};
+
+    fn parse(s: &str) -> Pattern {
+        s.parse().unwrap()
+    }
+
+    /// A log with many instances of varied lengths.
+    fn many_instances(n: u64) -> Log {
+        let mut b = LogBuilder::new();
+        for i in 0..n {
+            let w = b.start_instance();
+            let len = 2 + (i % 7);
+            for j in 0..len {
+                let act = match (i + j) % 4 {
+                    0 => "A",
+                    1 => "B",
+                    2 => "C",
+                    _ => "D",
+                };
+                b.append(w, act, attrs! {}, attrs! {}).unwrap();
+            }
+            if i % 3 == 0 {
+                b.end_instance(w).unwrap();
+            }
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn parallel_matches_sequential_on_figure3() {
+        let log = paper::figure3_log();
+        let reference = Evaluator::new(&log);
+        for threads in [1, 2, 3, 8] {
+            for src in ["SeeDoctor -> PayTreatment", "GetRefer ~> CheckIn", "A | SeeDoctor"] {
+                let p = parse(src);
+                assert_eq!(
+                    evaluate_parallel(&log, &p, threads, Strategy::Optimized),
+                    reference.evaluate(&p),
+                    "threads={threads} pattern={src}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_matches_sequential_on_many_instances() {
+        let log = many_instances(64);
+        let reference = Evaluator::new(&log);
+        for src in ["A -> B", "A & (B | C)", "!A ~> D", "A -> B -> C"] {
+            let p = parse(src);
+            for threads in [2, 4] {
+                assert_eq!(
+                    evaluate_parallel(&log, &p, threads, Strategy::Optimized),
+                    reference.evaluate(&p),
+                    "threads={threads} pattern={src}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn both_strategies_work_under_parallelism() {
+        let log = many_instances(16);
+        let p = parse("A -> (B & C)");
+        assert_eq!(
+            evaluate_parallel(&log, &p, 4, Strategy::NaivePaper),
+            evaluate_parallel(&log, &p, 4, Strategy::Optimized)
+        );
+    }
+
+    #[test]
+    fn more_threads_than_instances_is_fine() {
+        let log = paper::figure3_log(); // 3 instances
+        let p = parse("GetRefer");
+        let set = evaluate_parallel(&log, &p, 64, Strategy::Optimized);
+        assert_eq!(set.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_threads_panics() {
+        let log = paper::figure3_log();
+        let _ = evaluate_parallel(&log, &parse("A"), 0, Strategy::Optimized);
+    }
+}

@@ -1,0 +1,154 @@
+//! Evolution of a query over log time: incident counts as the log grows.
+//!
+//! Built on the streaming evaluator, a [`timeline`] replays the log once
+//! and samples the cumulative incident count every `step` records —
+//! "when did the anomalies start?" without re-evaluating per prefix.
+
+use wlq_log::{Log, Lsn};
+use wlq_pattern::Pattern;
+
+use crate::streaming::StreamingEvaluator;
+
+/// One sample of a timeline: after the record with sequence number `lsn`,
+/// the pattern had `incidents` cumulative incidents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimelinePoint {
+    /// Last log sequence number included in this sample.
+    pub lsn: Lsn,
+    /// Cumulative `|incL(p)|` over the prefix `1..=lsn`.
+    pub incidents: usize,
+    /// Incidents completed since the previous sample.
+    pub delta: usize,
+}
+
+/// Samples the cumulative incident count of `pattern` every `step`
+/// records (and once at the final record), in one streaming pass.
+///
+/// Equivalent to evaluating the pattern on every sampled
+/// [`prefix`](wlq_log::Log::prefix), in `O(log replay)` total.
+///
+/// # Panics
+///
+/// Panics if `step` is 0.
+///
+/// # Examples
+///
+/// ```
+/// use wlq_engine::timeline;
+/// use wlq_log::paper;
+///
+/// let points = timeline(
+///     &paper::figure3_log(),
+///     &"UpdateRefer -> GetReimburse".parse().unwrap(),
+///     5,
+/// );
+/// // The anomaly completes only with l20.
+/// assert_eq!(points.last().unwrap().incidents, 1);
+/// assert_eq!(points[points.len() - 2].incidents, 0);
+/// ```
+#[must_use]
+pub fn timeline(log: &Log, pattern: &Pattern, step: usize) -> Vec<TimelinePoint> {
+    assert!(step > 0, "step must be positive");
+    let mut stream = StreamingEvaluator::new(pattern.clone());
+    let mut points = Vec::new();
+    let mut total = 0usize;
+    let mut since_sample = 0usize;
+    let len = log.len();
+    for (i, record) in log.iter().enumerate() {
+        let fresh = stream
+            .append(record)
+            .expect("valid logs replay cleanly")
+            .len();
+        total += fresh;
+        since_sample += fresh;
+        let at_step = (i + 1) % step == 0;
+        let at_end = i + 1 == len;
+        if at_step || at_end {
+            points.push(TimelinePoint {
+                lsn: record.lsn(),
+                incidents: total,
+                delta: since_sample,
+            });
+            since_sample = 0;
+        }
+    }
+    points
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::Evaluator;
+    use wlq_log::paper;
+
+    fn parse(s: &str) -> Pattern {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn samples_fall_on_steps_and_the_end() {
+        let log = paper::figure3_log();
+        let points = timeline(&log, &parse("SeeDoctor"), 6);
+        let lsns: Vec<u64> = points.iter().map(|p| p.lsn.get()).collect();
+        assert_eq!(lsns, vec![6, 12, 18, 20]);
+    }
+
+    #[test]
+    fn counts_are_cumulative_and_deltas_partition() {
+        let log = paper::figure3_log();
+        let points = timeline(&log, &parse("SeeDoctor"), 5);
+        // SeeDoctor at lsn 9, 11, 13, 17; samples at lsn 5, 10, 15, 20.
+        let counts: Vec<usize> = points.iter().map(|p| p.incidents).collect();
+        assert_eq!(counts, vec![0, 1, 3, 4]);
+        let delta_sum: usize = points.iter().map(|p| p.delta).sum();
+        assert_eq!(delta_sum, 4);
+        // Deltas are consistent with consecutive totals.
+        for pair in points.windows(2) {
+            assert_eq!(pair[1].incidents - pair[0].incidents, pair[1].delta);
+        }
+    }
+
+    #[test]
+    fn final_sample_matches_batch_evaluation() {
+        let log = paper::figure3_log();
+        for src in ["GetRefer ~> CheckIn", "SeeDoctor & PayTreatment", "!START"] {
+            let p = parse(src);
+            let points = timeline(&log, &p, 7);
+            assert_eq!(
+                points.last().unwrap().incidents,
+                Evaluator::new(&log).count(&p),
+                "{src}"
+            );
+        }
+    }
+
+    #[test]
+    fn each_sample_matches_prefix_evaluation() {
+        let log = paper::figure3_log();
+        let p = parse("SeeDoctor -> PayTreatment");
+        for point in timeline(&log, &p, 4) {
+            let prefix = log.prefix(point.lsn).unwrap();
+            assert_eq!(
+                point.incidents,
+                Evaluator::new(&prefix).count(&p),
+                "at lsn {}",
+                point.lsn
+            );
+        }
+    }
+
+    #[test]
+    fn step_larger_than_log_samples_once() {
+        let log = paper::figure3_log();
+        let points = timeline(&log, &parse("START"), 1000);
+        assert_eq!(points.len(), 1);
+        assert_eq!(points[0].lsn, wlq_log::Lsn(20));
+        assert_eq!(points[0].incidents, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "step must be positive")]
+    fn zero_step_panics() {
+        let _ = timeline(&paper::figure3_log(), &parse("A"), 0);
+    }
+}

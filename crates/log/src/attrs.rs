@@ -1,0 +1,260 @@
+//! Attribute maps: the `αin` / `αout` components of a log record.
+//!
+//! A *map* in the paper is a partial function `A → D` with finite domain.
+//! [`AttrMap`] realises this as an ordered map from [`AttrName`] to
+//! [`Value`], ordered so that display and serialization are deterministic.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::names::AttrName;
+use crate::value::Value;
+
+/// A finite partial map from attribute names to values.
+///
+/// Used for both the input map `αin` (attributes *read* by an activity) and
+/// the output map `αout` (attributes *written*).
+///
+/// # Examples
+///
+/// ```
+/// use wlq_log::{AttrMap, Value};
+///
+/// let mut m = AttrMap::new();
+/// m.set("balance", 1000i64);
+/// m.set("referState", "active");
+/// assert_eq!(m.get("balance"), Some(&Value::Int(1000)));
+/// assert_eq!(m.len(), 2);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct AttrMap {
+    entries: BTreeMap<AttrName, Value>,
+}
+
+impl AttrMap {
+    /// Creates an empty map (the `-` entries of the paper's Figure 3).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the number of attributes in the map.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` if the map defines no attribute.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Sets `name` to `value`, returning the previous value if any.
+    pub fn set(
+        &mut self,
+        name: impl Into<AttrName>,
+        value: impl Into<Value>,
+    ) -> Option<Value> {
+        self.entries.insert(name.into(), value.into())
+    }
+
+    /// Builder-style [`set`](Self::set); handy for literal maps.
+    ///
+    /// ```
+    /// use wlq_log::AttrMap;
+    /// let m = AttrMap::new().with("a", 1i64).with("b", "x");
+    /// assert_eq!(m.len(), 2);
+    /// ```
+    #[must_use]
+    pub fn with(mut self, name: impl Into<AttrName>, value: impl Into<Value>) -> Self {
+        self.set(name, value);
+        self
+    }
+
+    /// Looks up the value of `name`, or `None` if the map does not define it.
+    #[must_use]
+    pub fn get(&self, name: &str) -> Option<&Value> {
+        self.entries.get(name)
+    }
+
+    /// Looks up `name`, treating absence as the undefined value `⊥`.
+    ///
+    /// This matches the paper's convention that an attribute outside the
+    /// map's domain is undefined.
+    #[must_use]
+    pub fn get_or_undefined(&self, name: &str) -> Value {
+        self.get(name).cloned().unwrap_or(Value::Undefined)
+    }
+
+    /// Returns `true` if the map defines `name`.
+    #[must_use]
+    pub fn contains(&self, name: &str) -> bool {
+        self.entries.contains_key(name)
+    }
+
+    /// Removes `name` from the map, returning its value if present.
+    pub fn remove(&mut self, name: &str) -> Option<Value> {
+        self.entries.remove(name)
+    }
+
+    /// Iterates over `(name, value)` pairs in attribute-name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&AttrName, &Value)> {
+        self.entries.iter()
+    }
+
+    /// Iterates over the attribute names (the map's domain) in order.
+    pub fn names(&self) -> impl Iterator<Item = &AttrName> {
+        self.entries.keys()
+    }
+
+    /// Merges `other` into `self`; entries of `other` win on conflicts.
+    ///
+    /// Used by the workflow engine to apply an activity's output map to an
+    /// instance's attribute store.
+    pub fn apply(&mut self, other: &AttrMap) {
+        for (k, v) in other.iter() {
+            self.entries.insert(k.clone(), v.clone());
+        }
+    }
+}
+
+impl fmt::Display for AttrMap {
+    /// Formats the map the way the paper's Figure 3 does:
+    /// `a=1, b=x`, or `-` when empty.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.entries.is_empty() {
+            return f.write_str("-");
+        }
+        let mut first = true;
+        for (k, v) in &self.entries {
+            if !first {
+                f.write_str(", ")?;
+            }
+            write!(f, "{k}={v}")?;
+            first = false;
+        }
+        Ok(())
+    }
+}
+
+impl<N: Into<AttrName>, V: Into<Value>> FromIterator<(N, V)> for AttrMap {
+    fn from_iter<I: IntoIterator<Item = (N, V)>>(iter: I) -> Self {
+        let mut m = AttrMap::new();
+        for (n, v) in iter {
+            m.set(n, v);
+        }
+        m
+    }
+}
+
+impl<N: Into<AttrName>, V: Into<Value>> Extend<(N, V)> for AttrMap {
+    fn extend<I: IntoIterator<Item = (N, V)>>(&mut self, iter: I) {
+        for (n, v) in iter {
+            self.set(n, v);
+        }
+    }
+}
+
+impl IntoIterator for AttrMap {
+    type Item = (AttrName, Value);
+    type IntoIter = std::collections::btree_map::IntoIter<AttrName, Value>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.entries.into_iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a AttrMap {
+    type Item = (&'a AttrName, &'a Value);
+    type IntoIter = std::collections::btree_map::Iter<'a, AttrName, Value>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.entries.iter()
+    }
+}
+
+/// Convenience macro for attribute-map literals.
+///
+/// ```
+/// use wlq_log::{attrs, Value};
+/// let m = attrs! { "referId" => "034d1", "balance" => 1000i64 };
+/// assert_eq!(m.get("balance"), Some(&Value::Int(1000)));
+/// ```
+#[macro_export]
+macro_rules! attrs {
+    () => { $crate::AttrMap::new() };
+    ($($name:expr => $value:expr),+ $(,)?) => {{
+        let mut m = $crate::AttrMap::new();
+        $( m.set($name, $value); )+
+        m
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_map_displays_as_dash() {
+        assert_eq!(AttrMap::new().to_string(), "-");
+        assert!(AttrMap::new().is_empty());
+    }
+
+    #[test]
+    fn set_get_remove_round_trip() {
+        let mut m = AttrMap::new();
+        assert_eq!(m.set("a", 1i64), None);
+        assert_eq!(m.set("a", 2i64), Some(Value::Int(1)));
+        assert_eq!(m.get("a"), Some(&Value::Int(2)));
+        assert_eq!(m.remove("a"), Some(Value::Int(2)));
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn get_or_undefined_models_partial_function() {
+        let m = attrs! { "x" => 1i64 };
+        assert_eq!(m.get_or_undefined("x"), Value::Int(1));
+        assert_eq!(m.get_or_undefined("missing"), Value::Undefined);
+    }
+
+    #[test]
+    fn display_is_sorted_and_comma_separated() {
+        let m = attrs! { "b" => 2i64, "a" => 1i64 };
+        assert_eq!(m.to_string(), "a=1, b=2");
+    }
+
+    #[test]
+    fn apply_overwrites_and_extends() {
+        let mut store = attrs! { "balance" => 1000i64, "state" => "start" };
+        let out = attrs! { "state" => "active", "receipt" => 560i64 };
+        store.apply(&out);
+        assert_eq!(store.get_or_undefined("state"), Value::from("active"));
+        assert_eq!(store.get_or_undefined("balance"), Value::Int(1000));
+        assert_eq!(store.get_or_undefined("receipt"), Value::Int(560));
+    }
+
+    #[test]
+    fn from_iterator_and_extend() {
+        let mut m: AttrMap = vec![("a", 1i64), ("b", 2i64)].into_iter().collect();
+        m.extend(vec![("c", 3i64)]);
+        assert_eq!(m.len(), 3);
+        let names: Vec<_> = m.names().map(AttrName::to_string).collect();
+        assert_eq!(names, ["a", "b", "c"]);
+    }
+
+    #[test]
+    fn maps_are_comparable_and_hashable() {
+        use std::collections::HashSet;
+        let a = attrs! { "x" => 1i64 };
+        let b = attrs! { "x" => 1i64 };
+        let c = attrs! { "x" => 2i64 };
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        let mut set = HashSet::new();
+        set.insert(a);
+        assert!(set.contains(&b));
+        assert!(!set.contains(&c));
+    }
+}

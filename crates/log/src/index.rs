@@ -1,0 +1,212 @@
+//! Secondary indexes over a [`Log`] used by query evaluation.
+//!
+//! Algorithm 2 of the paper assumes "an index structure for each workflow id
+//! and activity … used to generate log records for an activity node in
+//! constant time". [`LogIndex`] is that structure: per-instance activity
+//! postings, in is-lsn order.
+
+use std::collections::{BTreeMap, HashMap};
+
+use crate::log::Log;
+use crate::names::Activity;
+use crate::record::{IsLsn, Wid};
+
+/// An inverted index over a log: for each `(wid, activity)` the sorted list
+/// of is-lsns at which that activity executed, plus the full activity
+/// sequence of each instance (for negated atomic patterns).
+///
+/// # Examples
+///
+/// ```
+/// use wlq_log::{paper, LogIndex, Wid, IsLsn};
+///
+/// let log = paper::figure3_log();
+/// let idx = LogIndex::build(&log);
+/// // SeeDoctor executed at is-lsn 4 and 6 in instance 1 (l9, l11).
+/// assert_eq!(idx.postings(Wid(1), "SeeDoctor"), &[IsLsn(4), IsLsn(6)]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct LogIndex {
+    /// `(wid, activity) → sorted is-lsns`.
+    postings: HashMap<(Wid, Activity), Vec<IsLsn>>,
+    /// `wid → activity sequence`, position `i` holding is-lsn `i+1`.
+    sequences: BTreeMap<Wid, Vec<Activity>>,
+}
+
+impl LogIndex {
+    /// Builds the index in a single pass over the log.
+    #[must_use]
+    pub fn build(log: &Log) -> Self {
+        let mut postings: HashMap<(Wid, Activity), Vec<IsLsn>> = HashMap::new();
+        let mut sequences: BTreeMap<Wid, Vec<Activity>> = BTreeMap::new();
+        for wid in log.wids() {
+            let seq: Vec<Activity> = log.instance(wid).map(|r| r.activity().clone()).collect();
+            for (i, act) in seq.iter().enumerate() {
+                postings
+                    .entry((wid, act.clone()))
+                    .or_default()
+                    .push(IsLsn(i as u32 + 1));
+            }
+            sequences.insert(wid, seq);
+        }
+        LogIndex { postings, sequences }
+    }
+
+    /// The instance ids covered by the index, ascending.
+    pub fn wids(&self) -> impl Iterator<Item = Wid> + '_ {
+        self.sequences.keys().copied()
+    }
+
+    /// Number of instances.
+    #[must_use]
+    pub fn num_instances(&self) -> usize {
+        self.sequences.len()
+    }
+
+    /// The is-lsns at which `activity` executed in instance `wid`,
+    /// ascending; empty if it never did.
+    #[must_use]
+    pub fn postings(&self, wid: Wid, activity: &str) -> &[IsLsn] {
+        // Avoid allocating an Activity for the common hit path only when the
+        // caller already has one; for &str lookups we construct the key once.
+        self.postings
+            .get(&(wid, Activity::new(activity)))
+            .map_or(&[], Vec::as_slice)
+    }
+
+    /// Number of records of instance `wid` (0 if unknown).
+    #[must_use]
+    pub fn instance_len(&self, wid: Wid) -> usize {
+        self.sequences.get(&wid).map_or(0, Vec::len)
+    }
+
+    /// The activity executed at `(wid, is_lsn)`.
+    #[must_use]
+    pub fn activity_at(&self, wid: Wid, is_lsn: IsLsn) -> Option<&Activity> {
+        let seq = self.sequences.get(&wid)?;
+        seq.get((is_lsn.get() as usize).checked_sub(1)?)
+    }
+
+    /// The is-lsns of instance `wid` whose activity is *not* `activity`
+    /// (matches the negated atomic pattern `¬t`), ascending.
+    #[must_use]
+    pub fn complement_postings(&self, wid: Wid, activity: &str) -> Vec<IsLsn> {
+        self.sequences.get(&wid).map_or_else(Vec::new, |seq| {
+            seq.iter()
+                .enumerate()
+                .filter(|(_, a)| a.as_str() != activity)
+                .map(|(i, _)| IsLsn(i as u32 + 1))
+                .collect()
+        })
+    }
+
+    /// Count of executions of `activity` across all instances; this is the
+    /// selectivity statistic the optimizer uses.
+    #[must_use]
+    pub fn total_count(&self, activity: &str) -> usize {
+        self.wids()
+            .map(|w| self.postings(w, activity).len())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attrs::AttrMap;
+    use crate::builder::LogBuilder;
+    use crate::record::LogRecord;
+
+    fn sample() -> Log {
+        let mut b = LogBuilder::new();
+        let w1 = b.start_instance();
+        let w2 = b.start_instance();
+        for a in ["A", "B", "A"] {
+            b.append(w1, a, AttrMap::new(), AttrMap::new()).unwrap();
+        }
+        b.append(w2, "B", AttrMap::new(), AttrMap::new()).unwrap();
+        b.end_instance(w1).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn postings_are_per_instance_and_sorted() {
+        let log = sample();
+        let idx = LogIndex::build(&log);
+        assert_eq!(idx.postings(Wid(1), "A"), &[IsLsn(2), IsLsn(4)]);
+        assert_eq!(idx.postings(Wid(1), "B"), &[IsLsn(3)]);
+        assert_eq!(idx.postings(Wid(2), "A"), &[] as &[IsLsn]);
+        assert_eq!(idx.postings(Wid(2), "B"), &[IsLsn(2)]);
+    }
+
+    #[test]
+    fn start_and_end_are_indexed_like_activities() {
+        let idx = LogIndex::build(&sample());
+        assert_eq!(idx.postings(Wid(1), "START"), &[IsLsn(1)]);
+        assert_eq!(idx.postings(Wid(1), "END"), &[IsLsn(5)]);
+        assert_eq!(idx.postings(Wid(2), "END"), &[] as &[IsLsn]);
+    }
+
+    #[test]
+    fn activity_at_reads_the_sequence() {
+        let idx = LogIndex::build(&sample());
+        assert_eq!(idx.activity_at(Wid(1), IsLsn(2)).unwrap().as_str(), "A");
+        assert_eq!(idx.activity_at(Wid(1), IsLsn(5)).unwrap().as_str(), "END");
+        assert_eq!(idx.activity_at(Wid(1), IsLsn(6)), None);
+        assert_eq!(idx.activity_at(Wid(9), IsLsn(1)), None);
+    }
+
+    #[test]
+    fn complement_postings_match_negated_atoms() {
+        let idx = LogIndex::build(&sample());
+        assert_eq!(
+            idx.complement_postings(Wid(1), "A"),
+            vec![IsLsn(1), IsLsn(3), IsLsn(5)]
+        );
+        assert_eq!(idx.complement_postings(Wid(9), "A"), Vec::<IsLsn>::new());
+    }
+
+    #[test]
+    fn total_count_sums_instances() {
+        let idx = LogIndex::build(&sample());
+        assert_eq!(idx.total_count("A"), 2);
+        assert_eq!(idx.total_count("B"), 2);
+        assert_eq!(idx.total_count("START"), 2);
+        assert_eq!(idx.total_count("Nope"), 0);
+    }
+
+    #[test]
+    fn instance_len_matches_log() {
+        let log = sample();
+        let idx = LogIndex::build(&log);
+        assert_eq!(idx.instance_len(Wid(1)), log.instance_len(Wid(1)));
+        assert_eq!(idx.instance_len(Wid(2)), log.instance_len(Wid(2)));
+        assert_eq!(idx.num_instances(), 2);
+    }
+
+    #[test]
+    fn index_of_figure3_matches_example5() {
+        let log = crate::paper::figure3_log();
+        let idx = LogIndex::build(&log);
+        // Example 5: incL(SeeDoctor) = {l9, l11, l13, l17}.
+        let mut hits: Vec<(Wid, IsLsn)> = Vec::new();
+        for w in idx.wids() {
+            for &p in idx.postings(w, "SeeDoctor") {
+                hits.push((w, p));
+            }
+        }
+        let lsns: Vec<u64> = hits
+            .iter()
+            .map(|&(w, p)| log.record(w, p).unwrap().lsn().get())
+            .collect();
+        assert_eq!(lsns, vec![9, 11, 13, 17]);
+    }
+
+    #[test]
+    fn single_record_instances_index_cleanly() {
+        let log = Log::new(vec![LogRecord::start(1, 1u64)]).unwrap();
+        let idx = LogIndex::build(&log);
+        assert_eq!(idx.instance_len(Wid(1)), 1);
+        assert_eq!(idx.postings(Wid(1), "START"), &[IsLsn(1)]);
+    }
+}

@@ -1,0 +1,237 @@
+//! Compact binary log encoding built on [`bytes`].
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! magic  "WLQ1"          4 bytes
+//! count  u64             number of records
+//! record*:
+//!   lsn    u64
+//!   wid    u64
+//!   is_lsn u32
+//!   act    str           (u32 length + UTF-8 bytes)
+//!   input  map           (u32 count, then per entry: str name, value)
+//!   output map
+//! value: 1 tag byte then payload
+//!   0 = undefined, 1 = bool (u8), 2 = int (i64), 3 = float (f64 bits),
+//!   4 = str
+//! ```
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::attrs::AttrMap;
+use crate::error::ParseLogError;
+use crate::log::Log;
+use crate::record::LogRecord;
+use crate::Value;
+
+const MAGIC: &[u8; 4] = b"WLQ1";
+
+/// Encodes a log into the binary format.
+#[must_use]
+pub fn write_binary(log: &Log) -> Bytes {
+    let mut buf = BytesMut::with_capacity(64 * log.len());
+    buf.put_slice(MAGIC);
+    buf.put_u64_le(log.len() as u64);
+    for r in log.iter() {
+        buf.put_u64_le(r.lsn().get());
+        buf.put_u64_le(r.wid().get());
+        buf.put_u32_le(r.is_lsn().get());
+        put_str(&mut buf, r.activity().as_str());
+        put_map(&mut buf, r.input());
+        put_map(&mut buf, r.output());
+    }
+    buf.freeze()
+}
+
+fn put_str(buf: &mut BytesMut, s: &str) {
+    buf.put_u32_le(s.len() as u32);
+    buf.put_slice(s.as_bytes());
+}
+
+fn put_map(buf: &mut BytesMut, map: &AttrMap) {
+    buf.put_u32_le(map.len() as u32);
+    for (k, v) in map.iter() {
+        put_str(buf, k.as_str());
+        put_value(buf, v);
+    }
+}
+
+fn put_value(buf: &mut BytesMut, v: &Value) {
+    match v {
+        Value::Undefined => buf.put_u8(0),
+        Value::Bool(b) => {
+            buf.put_u8(1);
+            buf.put_u8(u8::from(*b));
+        }
+        Value::Int(i) => {
+            buf.put_u8(2);
+            buf.put_i64_le(*i);
+        }
+        Value::Float(x) => {
+            buf.put_u8(3);
+            buf.put_u64_le(x.to_bits());
+        }
+        Value::Str(s) => {
+            buf.put_u8(4);
+            put_str(buf, s);
+        }
+    }
+}
+
+/// Decodes a log from the binary format.
+///
+/// # Errors
+///
+/// Returns [`ParseLogError::BadShape`] on truncated or corrupt input and
+/// [`ParseLogError::Invalid`] if the decoded records violate Definition 2.
+pub fn read_binary(mut data: Bytes) -> Result<Log, ParseLogError> {
+    fn bad(message: impl Into<String>) -> ParseLogError {
+        ParseLogError::BadShape { line: 0, message: message.into() }
+    }
+    if data.remaining() < 12 {
+        return Err(bad("input shorter than header"));
+    }
+    let mut magic = [0u8; 4];
+    data.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(bad("bad magic, not a WLQ1 binary log"));
+    }
+    let count = data.get_u64_le();
+    let mut records = Vec::with_capacity(count.min(1 << 20) as usize);
+    for i in 0..count {
+        let err = || bad(format!("truncated record {i}"));
+        if data.remaining() < 20 {
+            return Err(err());
+        }
+        let lsn = data.get_u64_le();
+        let wid = data.get_u64_le();
+        let is_lsn = data.get_u32_le();
+        let act = get_str(&mut data).ok_or_else(err)?;
+        let input = get_map(&mut data).ok_or_else(err)?;
+        let output = get_map(&mut data).ok_or_else(err)?;
+        records.push(LogRecord::new(lsn, wid, is_lsn, act.as_str(), input, output));
+    }
+    if data.has_remaining() {
+        return Err(bad("trailing bytes after last record"));
+    }
+    Ok(Log::new(records)?)
+}
+
+fn get_str(data: &mut Bytes) -> Option<String> {
+    if data.remaining() < 4 {
+        return None;
+    }
+    let len = data.get_u32_le() as usize;
+    if data.remaining() < len {
+        return None;
+    }
+    let raw = data.copy_to_bytes(len);
+    String::from_utf8(raw.to_vec()).ok()
+}
+
+fn get_map(data: &mut Bytes) -> Option<AttrMap> {
+    if data.remaining() < 4 {
+        return None;
+    }
+    let count = data.get_u32_le();
+    let mut map = AttrMap::new();
+    for _ in 0..count {
+        let name = get_str(data)?;
+        let value = get_value(data)?;
+        map.set(name, value);
+    }
+    Some(map)
+}
+
+fn get_value(data: &mut Bytes) -> Option<Value> {
+    if !data.has_remaining() {
+        return None;
+    }
+    match data.get_u8() {
+        0 => Some(Value::Undefined),
+        1 => {
+            if !data.has_remaining() {
+                return None;
+            }
+            Some(Value::Bool(data.get_u8() != 0))
+        }
+        2 => {
+            if data.remaining() < 8 {
+                return None;
+            }
+            Some(Value::Int(data.get_i64_le()))
+        }
+        3 => {
+            if data.remaining() < 8 {
+                return None;
+            }
+            Some(Value::Float(f64::from_bits(data.get_u64_le())))
+        }
+        4 => get_str(data).map(Value::from),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paper;
+
+    #[test]
+    fn figure3_round_trips_through_binary() {
+        let log = paper::figure3_log();
+        let bytes = write_binary(&log);
+        let back = read_binary(bytes).unwrap();
+        assert_eq!(back, log);
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let err = read_binary(Bytes::from_static(b"NOPE00000000")).unwrap_err();
+        assert!(err.to_string().contains("magic"));
+    }
+
+    #[test]
+    fn truncated_input_is_rejected() {
+        let log = paper::figure3_log();
+        let bytes = write_binary(&log);
+        let truncated = bytes.slice(0..bytes.len() - 3);
+        assert!(read_binary(truncated).is_err());
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected() {
+        let log = paper::figure3_log();
+        let mut raw = write_binary(&log).to_vec();
+        raw.push(0xFF);
+        assert!(read_binary(Bytes::from(raw)).is_err());
+    }
+
+    #[test]
+    fn empty_input_is_rejected() {
+        assert!(read_binary(Bytes::new()).is_err());
+    }
+
+    #[test]
+    fn all_value_kinds_round_trip() {
+        let mut b = crate::LogBuilder::new();
+        let w = b.start_instance();
+        b.append(
+            w,
+            "A",
+            crate::attrs! {
+                "u" => crate::Value::Undefined,
+                "b" => true,
+                "i" => -9i64,
+                "f" => 2.5f64,
+                "s" => "text",
+            },
+            crate::AttrMap::new(),
+        )
+        .unwrap();
+        let log = b.build().unwrap();
+        let back = read_binary(write_binary(&log)).unwrap();
+        assert_eq!(back, log);
+    }
+}

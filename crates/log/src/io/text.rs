@@ -1,0 +1,212 @@
+//! The pipe-separated text format of Figure 3.
+//!
+//! One record per line, six `|`-separated fields:
+//!
+//! ```text
+//! lsn | wid | is-lsn | activity | αin | αout
+//! 4 | 1 | 3 | CheckIn | balance=1000, referId=034d1 | referState=active
+//! ```
+//!
+//! Attribute maps are comma-separated `name=value` pairs, or `-` when
+//! empty. A leading header line (starting with `lsn`) is written by
+//! [`write_text`] and skipped by [`read_text`]. Attribute names must not
+//! contain `=`, `,`, or `|`; values must not contain `,` or `|` (the
+//! formats in this crate target the paper's value universe, not arbitrary
+//! binary data — use [`crate::io::binary`] for that).
+
+use crate::attrs::AttrMap;
+use crate::error::ParseLogError;
+use crate::log::Log;
+use crate::record::LogRecord;
+
+/// Renders a log as a Figure 3-style table with a header line.
+///
+/// Unlike [`LogRecord`]'s human-oriented `Display`, this renderer quotes
+/// attribute values that would otherwise be ambiguous (numeric-looking
+/// strings, separators), so [`read_text`] round-trips losslessly.
+#[must_use]
+pub fn write_text(log: &Log) -> String {
+    let mut out = String::from("lsn | wid | is-lsn | t | in | out\n");
+    for r in log.iter() {
+        let render = |m: &AttrMap| {
+            if m.is_empty() {
+                "-".to_string()
+            } else {
+                super::render_map(m, ", ")
+            }
+        };
+        out.push_str(&format!(
+            "{} | {} | {} | {} | {} | {}\n",
+            r.lsn(),
+            r.wid(),
+            r.is_lsn(),
+            r.activity(),
+            render(r.input()),
+            render(r.output()),
+        ));
+    }
+    out
+}
+
+/// Parses a log from the text format.
+///
+/// # Errors
+///
+/// Returns [`ParseLogError`] if a line is malformed or the records do not
+/// form a valid log (Definition 2).
+pub fn read_text(text: &str) -> Result<Log, ParseLogError> {
+    let mut records = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let line_no = i + 1;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') || trimmed.starts_with("lsn") {
+            continue;
+        }
+        records.push(parse_line(trimmed, line_no)?);
+    }
+    Ok(Log::new(records)?)
+}
+
+fn parse_line(line: &str, line_no: usize) -> Result<LogRecord, ParseLogError> {
+    // Quote-aware split: a '|' inside a quoted attribute value is data.
+    let fields: Vec<String> = super::split_entries(line, '|')
+        .into_iter()
+        .map(|f| f.trim().to_string())
+        .collect();
+    if fields.len() != 6 {
+        return Err(ParseLogError::BadShape {
+            line: line_no,
+            message: format!("expected 6 '|'-separated fields, found {}", fields.len()),
+        });
+    }
+    let lsn: u64 = fields[0].parse().map_err(|_| ParseLogError::BadNumber {
+        line: line_no,
+        field: "lsn",
+        text: fields[0].clone(),
+    })?;
+    let wid: u64 = fields[1].parse().map_err(|_| ParseLogError::BadNumber {
+        line: line_no,
+        field: "wid",
+        text: fields[1].clone(),
+    })?;
+    let is_lsn: u32 = fields[2].parse().map_err(|_| ParseLogError::BadNumber {
+        line: line_no,
+        field: "is-lsn",
+        text: fields[2].clone(),
+    })?;
+    if fields[3].is_empty() {
+        return Err(ParseLogError::BadShape {
+            line: line_no,
+            message: "activity name is empty".to_string(),
+        });
+    }
+    let input = parse_attr_map(&fields[4], line_no)?;
+    let output = parse_attr_map(&fields[5], line_no)?;
+    Ok(LogRecord::new(lsn, wid, is_lsn, fields[3].as_str(), input, output))
+}
+
+pub(crate) fn parse_attr_map(text: &str, line_no: usize) -> Result<AttrMap, ParseLogError> {
+    let mut map = AttrMap::new();
+    let trimmed = text.trim();
+    if trimmed.is_empty() || trimmed == "-" {
+        return Ok(map);
+    }
+    for pair in super::split_entries(trimmed, ',') {
+        let pair = pair.trim();
+        let Some((name, value)) = pair.split_once('=') else {
+            return Err(ParseLogError::BadShape {
+                line: line_no,
+                message: format!("attribute entry {pair:?} is not name=value"),
+            });
+        };
+        let name = name.trim();
+        if name.is_empty() {
+            return Err(ParseLogError::BadShape {
+                line: line_no,
+                message: "attribute name is empty".to_string(),
+            });
+        }
+        map.set(name, super::parse_rendered_value(value));
+    }
+    Ok(map)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paper;
+    use crate::record::{Lsn, Wid};
+    use crate::Value;
+
+    #[test]
+    fn figure3_round_trips() {
+        let log = paper::figure3_log();
+        let text = write_text(&log);
+        let back = read_text(&text).unwrap();
+        assert_eq!(back, log);
+    }
+
+    #[test]
+    fn header_comments_and_blank_lines_are_skipped() {
+        let text = "\
+lsn | wid | is-lsn | t | in | out
+# a comment
+
+1 | 1 | 1 | START | - | -
+2 | 1 | 2 | A | x=1 | y=2
+";
+        let log = read_text(text).unwrap();
+        assert_eq!(log.len(), 2);
+        assert_eq!(
+            log.get(Lsn(2)).unwrap().input().get_or_undefined("x"),
+            Value::Int(1)
+        );
+    }
+
+    #[test]
+    fn wrong_field_count_is_reported_with_line_number() {
+        let err = read_text("1 | 1 | 1 | START | -").unwrap_err();
+        assert!(matches!(err, ParseLogError::BadShape { line: 1, .. }));
+    }
+
+    #[test]
+    fn bad_numbers_name_the_field() {
+        let err = read_text("x | 1 | 1 | START | - | -").unwrap_err();
+        assert!(matches!(err, ParseLogError::BadNumber { field: "lsn", .. }));
+        let err = read_text("1 | y | 1 | START | - | -").unwrap_err();
+        assert!(matches!(err, ParseLogError::BadNumber { field: "wid", .. }));
+        let err = read_text("1 | 1 | z | START | - | -").unwrap_err();
+        assert!(matches!(err, ParseLogError::BadNumber { field: "is-lsn", .. }));
+    }
+
+    #[test]
+    fn malformed_attribute_pairs_are_rejected() {
+        let err = read_text("1 | 1 | 1 | START | novalue | -").unwrap_err();
+        assert!(matches!(err, ParseLogError::BadShape { .. }));
+        let err = read_text("1 | 1 | 1 | START | =1 | -").unwrap_err();
+        assert!(matches!(err, ParseLogError::BadShape { .. }));
+    }
+
+    #[test]
+    fn empty_activity_is_rejected() {
+        let err = read_text("1 | 1 | 1 |  | - | -").unwrap_err();
+        assert!(matches!(err, ParseLogError::BadShape { .. }));
+    }
+
+    #[test]
+    fn invalid_log_structure_is_reported() {
+        // Valid lines but is-lsn 1 is not START.
+        let err = read_text("1 | 1 | 1 | A | - | -").unwrap_err();
+        assert!(matches!(err, ParseLogError::Invalid(_)));
+    }
+
+    #[test]
+    fn values_with_spaces_survive() {
+        let text = "1 | 1 | 1 | START | - | -\n2 | 1 | 2 | A | - | hospital=Public Hospital";
+        let log = read_text(text).unwrap();
+        assert_eq!(
+            log.record(Wid(1), 2u32.into()).unwrap().output().get_or_undefined("hospital"),
+            Value::from("Public Hospital")
+        );
+    }
+}

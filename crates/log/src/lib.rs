@@ -1,0 +1,58 @@
+//! # wlq-log — the workflow log data model
+//!
+//! This crate implements the log formalism of *"Querying Workflow Logs"*
+//! (Tang, Mackey, Su): [`LogRecord`] (Definition 1), [`Log`] with its four
+//! validity conditions (Definition 2), incremental construction
+//! ([`LogBuilder`]), secondary indexes for query evaluation ([`LogIndex`]),
+//! statistics ([`LogStats`]), serialization ([`io`]), and the paper's
+//! Figure 3 example log ([`paper`]).
+//!
+//! A log is a totally-ordered sequence of records, each recording one
+//! activity execution of one workflow instance together with the attribute
+//! values the activity read (`αin`) and wrote (`αout`).
+//!
+//! ## Quick start
+//!
+//! ```
+//! use wlq_log::{attrs, LogBuilder, LogStats};
+//!
+//! // A workflow engine writes its log through a builder:
+//! let mut b = LogBuilder::new();
+//! let w = b.start_instance();
+//! b.append(w, "GetRefer", attrs! {}, attrs! { "balance" => 1000i64 })?;
+//! b.append(w, "CheckIn", attrs! { "balance" => 1000i64 }, attrs! {})?;
+//! b.end_instance(w)?;
+//! let log = b.build()?;
+//!
+//! assert_eq!(log.len(), 4);
+//! assert!(log.is_completed(w));
+//! println!("{}", LogStats::compute(&log));
+//! # Ok::<(), wlq_log::LogError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+mod attrs;
+mod builder;
+mod error;
+mod index;
+mod log;
+mod names;
+mod ops;
+mod record;
+mod stats;
+mod value;
+
+pub mod io;
+pub mod paper;
+
+pub use attrs::AttrMap;
+pub use builder::LogBuilder;
+pub use error::{LogError, ParseLogError};
+pub use index::LogIndex;
+pub use log::Log;
+pub use names::{Activity, AttrName, END_ACTIVITY, START_ACTIVITY};
+pub use record::{IsLsn, LogRecord, Lsn, Wid};
+pub use stats::LogStats;
+pub use value::Value;

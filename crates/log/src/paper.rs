@@ -1,0 +1,292 @@
+//! The example data of the paper, hand-coded for ground-truth tests.
+//!
+//! [`figure3_log`] reproduces the initial segment of the medical-clinic
+//! referral log shown in Figure 3 of the paper (20 records, 3 instances).
+//!
+//! One normalization: Figure 3 spells the reimbursement activity
+//! `GetReimberse` while the running text and all example queries spell it
+//! `GetReimburse`. We use the text's spelling `GetReimburse` everywhere so
+//! that the worked examples (Examples 3 and 5) type-check against the data.
+
+use crate::attrs;
+use crate::builder::LogBuilder;
+use crate::log::Log;
+use crate::record::Wid;
+
+/// Activity names of the clinic referral process, as used in Figure 3.
+pub mod activities {
+    /// Obtain a referral at the college clinic.
+    pub const GET_REFER: &str = "GetRefer";
+    /// Check in at the referred hospital.
+    pub const CHECK_IN: &str = "CheckIn";
+    /// See a doctor at the hospital.
+    pub const SEE_DOCTOR: &str = "SeeDoctor";
+    /// Pay for treatment, obtaining a receipt.
+    pub const PAY_TREATMENT: &str = "PayTreatment";
+    /// Update the referral (e.g. its balance) after a new diagnosis.
+    pub const UPDATE_REFER: &str = "UpdateRefer";
+    /// Receive a treatment that was paid for.
+    pub const TAKE_TREATMENT: &str = "TakeTreatment";
+    /// Get reimbursed for active receipts.
+    pub const GET_REIMBURSE: &str = "GetReimburse";
+    /// Complete (close) the referral.
+    pub const COMPLETE_REFER: &str = "CompleteRefer";
+}
+
+/// Builds the 20-record log of Figure 3.
+///
+/// Instances: wid 1 (a complete referral with two doctor visits and two
+/// receipts), wid 2 (a referral updated to a higher balance before
+/// reimbursement — the anomaly the paper's example query hunts for), and
+/// wid 3 (a freshly started referral).
+///
+/// ```
+/// use wlq_log::paper::figure3_log;
+///
+/// let log = figure3_log();
+/// assert_eq!(log.len(), 20);
+/// assert_eq!(log.num_instances(), 3);
+/// ```
+#[must_use]
+pub fn figure3_log() -> Log {
+    use activities::*;
+
+    let mut b = LogBuilder::new();
+    let w1 = b.start_instance(); // lsn 1
+    let w2 = b.start_instance(); // lsn 2
+    assert_eq!((w1, w2), (Wid(1), Wid(2)));
+
+    // lsn 3
+    b.append(
+        w1,
+        GET_REFER,
+        attrs! {},
+        attrs! {
+            "hospital" => "Public Hospital", "referId" => "034d1",
+            "referState" => "start", "balance" => 1000i64,
+        },
+    )
+    .expect("w1 open");
+    // lsn 4 — the record `l` of Example 1.
+    b.append(
+        w1,
+        CHECK_IN,
+        attrs! { "referId" => "034d1", "referState" => "start", "balance" => 1000i64 },
+        attrs! { "referState" => "active" },
+    )
+    .expect("w1 open");
+    // lsn 5
+    b.append(
+        w2,
+        GET_REFER,
+        attrs! {},
+        attrs! {
+            "hospital" => "People Hospital", "referId" => "022f3",
+            "referState" => "start", "balance" => 2000i64,
+        },
+    )
+    .expect("w2 open");
+    // lsn 6
+    let w3 = b.start_instance();
+    assert_eq!(w3, Wid(3));
+    // lsn 7
+    b.append(
+        w3,
+        GET_REFER,
+        attrs! {},
+        attrs! {
+            "hospital" => "Public Hospital", "referId" => "048s1",
+            "referState" => "start", "balance" => 500i64,
+        },
+    )
+    .expect("w3 open");
+    // lsn 8
+    b.append(
+        w2,
+        CHECK_IN,
+        attrs! { "referId" => "022f3", "referState" => "start", "balance" => 2000i64 },
+        attrs! { "referState" => "active" },
+    )
+    .expect("w2 open");
+    // lsn 9
+    b.append(
+        w1,
+        SEE_DOCTOR,
+        attrs! { "referId" => "034d1", "referState" => "active" },
+        attrs! {},
+    )
+    .expect("w1 open");
+    // lsn 10
+    b.append(
+        w1,
+        PAY_TREATMENT,
+        attrs! { "referId" => "034d1", "referState" => "active" },
+        attrs! { "receipt1" => 560i64, "receipt1State" => "active" },
+    )
+    .expect("w1 open");
+    // lsn 11
+    b.append(
+        w1,
+        SEE_DOCTOR,
+        attrs! { "referId" => "034d1", "referState" => "active" },
+        attrs! {},
+    )
+    .expect("w1 open");
+    // lsn 12
+    b.append(
+        w1,
+        PAY_TREATMENT,
+        attrs! { "referId" => "034d1", "referState" => "active" },
+        attrs! { "receipt2" => 460i64, "receipt2State" => "active" },
+    )
+    .expect("w1 open");
+    // lsn 13
+    b.append(
+        w2,
+        SEE_DOCTOR,
+        attrs! { "referId" => "022f3", "referState" => "active" },
+        attrs! {},
+    )
+    .expect("w2 open");
+    // lsn 14
+    b.append(
+        w2,
+        UPDATE_REFER,
+        attrs! { "referId" => "022f3", "referState" => "active", "balance" => 2000i64 },
+        attrs! { "balance" => 5000i64 },
+    )
+    .expect("w2 open");
+    // lsn 15
+    b.append(
+        w1,
+        GET_REIMBURSE,
+        attrs! {
+            "referState" => "active", "balance" => 1000i64,
+            "receipt1" => 560i64, "receipt1State" => "active",
+            "receipt2" => 460i64, "receipt2State" => "active",
+        },
+        attrs! {
+            "amount" => 1020i64, "balance" => 0i64, "reimburse" => 1000i64,
+            "receipt1State" => "complete", "receipt2State" => "complete",
+        },
+    )
+    .expect("w1 open");
+    // lsn 16
+    b.append(
+        w1,
+        COMPLETE_REFER,
+        attrs! { "referState" => "active", "balance" => 0i64 },
+        attrs! { "referState" => "complete" },
+    )
+    .expect("w1 open");
+    // lsn 17
+    b.append(
+        w2,
+        SEE_DOCTOR,
+        attrs! { "referId" => "022f3", "referState" => "active" },
+        attrs! {},
+    )
+    .expect("w2 open");
+    // lsn 18
+    b.append(
+        w2,
+        PAY_TREATMENT,
+        attrs! { "referId" => "022f3", "referState" => "active" },
+        attrs! { "receipt1" => 4560i64, "receipt1State" => "active" },
+    )
+    .expect("w2 open");
+    // lsn 19
+    b.append(
+        w2,
+        TAKE_TREATMENT,
+        attrs! { "referId" => "022f3", "receipt1" => 4560i64 },
+        attrs! {},
+    )
+    .expect("w2 open");
+    // lsn 20
+    b.append(
+        w2,
+        GET_REIMBURSE,
+        attrs! {
+            "referState" => "active", "balance" => 5000i64,
+            "receipt1" => 6560i64, "receipt1State" => "active",
+        },
+        attrs! {
+            "amount" => 6560i64, "balance" => 0i64, "reimburse" => 5000i64,
+            "receipt1State" => "complete",
+        },
+    )
+    .expect("w2 open");
+
+    b.build().expect("figure 3 log is valid by construction")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{IsLsn, Lsn};
+    use crate::value::Value;
+
+    #[test]
+    fn figure3_has_twenty_records_and_three_instances() {
+        let log = figure3_log();
+        assert_eq!(log.len(), 20);
+        assert_eq!(log.num_instances(), 3);
+        assert_eq!(log.instance_len(Wid(1)), 9);
+        assert_eq!(log.instance_len(Wid(2)), 9);
+        assert_eq!(log.instance_len(Wid(3)), 2);
+    }
+
+    #[test]
+    fn example1_record_l4_matches_the_paper() {
+        // l = (4, 1, 3, CheckIn, {referId=034d1, referState=start,
+        //      balance=1000}, {referState=active})
+        let log = figure3_log();
+        let l = log.get(Lsn(4)).unwrap();
+        assert_eq!(l.wid(), Wid(1));
+        assert_eq!(l.is_lsn(), IsLsn(3));
+        assert_eq!(l.activity().as_str(), "CheckIn");
+        assert_eq!(l.input().get_or_undefined("referId"), Value::from("034d1"));
+        assert_eq!(l.input().get_or_undefined("referState"), Value::from("start"));
+        assert_eq!(l.input().get_or_undefined("balance"), Value::Int(1000));
+        assert_eq!(l.output().get_or_undefined("referState"), Value::from("active"));
+        assert_eq!(l.output().len(), 1);
+    }
+
+    #[test]
+    fn update_refer_precedes_get_reimburse_only_in_wid2() {
+        // The motivating query of Section 2: UpdateRefer at l14 (is-lsn 5)
+        // before GetReimburse at l20 (is-lsn 9), instance 2 only.
+        let log = figure3_log();
+        let l14 = log.get(Lsn(14)).unwrap();
+        let l20 = log.get(Lsn(20)).unwrap();
+        assert_eq!(l14.activity().as_str(), "UpdateRefer");
+        assert_eq!(l14.wid(), Wid(2));
+        assert_eq!(l20.activity().as_str(), "GetReimburse");
+        assert_eq!(l20.wid(), Wid(2));
+        assert!(l14.is_lsn() < l20.is_lsn());
+        // No UpdateRefer anywhere else.
+        let updates: Vec<_> = log
+            .iter()
+            .filter(|r| r.activity().as_str() == "UpdateRefer")
+            .collect();
+        assert_eq!(updates.len(), 1);
+    }
+
+    #[test]
+    fn no_instance_is_completed_in_the_initial_segment() {
+        // Figure 3 is an *initial segment*: no END records yet.
+        let log = figure3_log();
+        for wid in log.wids() {
+            assert!(!log.is_completed(wid));
+        }
+    }
+
+    #[test]
+    fn balance_update_raises_to_5000() {
+        let log = figure3_log();
+        let l14 = log.get(Lsn(14)).unwrap();
+        assert_eq!(l14.input().get_or_undefined("balance"), Value::Int(2000));
+        assert_eq!(l14.output().get_or_undefined("balance"), Value::Int(5000));
+    }
+}

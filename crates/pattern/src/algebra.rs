@@ -1,0 +1,529 @@
+//! The algebraic laws of Section 4 (Theorems 2–5) as pattern rewrites.
+//!
+//! * **Theorem 2** — every operator is associative.
+//! * **Theorem 3** — `⊗` and `⊕` are commutative.
+//! * **Theorem 4** — `⊙` and `⊕`… more precisely `⊙` and `→` associate
+//!   *with each other*: in a chain mixing consecutive and sequential
+//!   operators, any parenthesisation is equivalent (each operator keeps its
+//!   infix operands).
+//! * **Theorem 5** — every operator distributes over `⊗` from both sides.
+//!
+//! These laws justify [`reassociate_right`]/[`reassociate_left`],
+//! [`commute`], [`distribute_left`]/[`distribute_right`] and their inverse
+//! factorings, plus the associativity/commutativity-aware canonical form
+//! ([`canonicalize`]) used for fast equivalence checks.
+
+use crate::ast::{Op, Pattern};
+
+/// Returns `true` if a node with operator `upper` directly above a node
+/// with operator `lower` may be re-parenthesised (operands keep their infix
+/// order and operators keep their operand pairs).
+///
+/// True when the operators are equal (Theorem 2) or both in the
+/// `{⊙, →}` precedence family (Theorem 4).
+#[must_use]
+pub fn can_reassociate(upper: Op, lower: Op) -> bool {
+    upper == lower
+        || (matches!(upper, Op::Consecutive | Op::Sequential)
+            && matches!(lower, Op::Consecutive | Op::Sequential))
+}
+
+/// Left-rotates `a θ1 (b θ2 c)` to `(a θ1 b) θ2 c` when Theorems 2/4 allow.
+///
+/// Returns `None` if the root shape does not match or the operator pair is
+/// not reassociable.
+#[must_use]
+pub fn reassociate_left(p: &Pattern) -> Option<Pattern> {
+    let Pattern::Binary { op: t1, left: a, right } = p else {
+        return None;
+    };
+    let Pattern::Binary { op: t2, left: b, right: c } = right.as_ref() else {
+        return None;
+    };
+    if !can_reassociate(*t1, *t2) {
+        return None;
+    }
+    Some(Pattern::binary(
+        *t2,
+        Pattern::binary(*t1, a.as_ref().clone(), b.as_ref().clone()),
+        c.as_ref().clone(),
+    ))
+}
+
+/// Right-rotates `(a θ1 b) θ2 c` to `a θ1 (b θ2 c)` when Theorems 2/4 allow.
+#[must_use]
+pub fn reassociate_right(p: &Pattern) -> Option<Pattern> {
+    let Pattern::Binary { op: t2, left, right: c } = p else {
+        return None;
+    };
+    let Pattern::Binary { op: t1, left: a, right: b } = left.as_ref() else {
+        return None;
+    };
+    if !can_reassociate(*t2, *t1) {
+        return None;
+    }
+    Some(Pattern::binary(
+        *t1,
+        a.as_ref().clone(),
+        Pattern::binary(*t2, b.as_ref().clone(), c.as_ref().clone()),
+    ))
+}
+
+/// Swaps the operands of a commutative root (Theorem 3).
+#[must_use]
+pub fn commute(p: &Pattern) -> Option<Pattern> {
+    let Pattern::Binary { op, left, right } = p else {
+        return None;
+    };
+    if !op.is_commutative() {
+        return None;
+    }
+    Some(Pattern::binary(*op, right.as_ref().clone(), left.as_ref().clone()))
+}
+
+/// Distributes from the left over choice (Theorem 5, part 1):
+/// `a θ (b ⊗ c) → (a θ b) ⊗ (a θ c)`.
+#[must_use]
+pub fn distribute_left(p: &Pattern) -> Option<Pattern> {
+    let Pattern::Binary { op, left: a, right } = p else {
+        return None;
+    };
+    let Pattern::Binary { op: Op::Choice, left: b, right: c } = right.as_ref() else {
+        return None;
+    };
+    Some(Pattern::binary(
+        Op::Choice,
+        Pattern::binary(*op, a.as_ref().clone(), b.as_ref().clone()),
+        Pattern::binary(*op, a.as_ref().clone(), c.as_ref().clone()),
+    ))
+}
+
+/// Distributes from the right over choice (Theorem 5, part 2):
+/// `(a ⊗ b) θ c → (a θ c) ⊗ (b θ c)`.
+#[must_use]
+pub fn distribute_right(p: &Pattern) -> Option<Pattern> {
+    let Pattern::Binary { op, left, right: c } = p else {
+        return None;
+    };
+    let Pattern::Binary { op: Op::Choice, left: a, right: b } = left.as_ref() else {
+        return None;
+    };
+    Some(Pattern::binary(
+        Op::Choice,
+        Pattern::binary(*op, a.as_ref().clone(), c.as_ref().clone()),
+        Pattern::binary(*op, b.as_ref().clone(), c.as_ref().clone()),
+    ))
+}
+
+/// Factors a common left operand out of a choice (inverse of
+/// [`distribute_left`]): `(a θ b) ⊗ (a θ c) → a θ (b ⊗ c)` when both sides
+/// share `θ` and `a`.
+#[must_use]
+pub fn factor_left(p: &Pattern) -> Option<Pattern> {
+    let Pattern::Binary { op: Op::Choice, left, right } = p else {
+        return None;
+    };
+    let Pattern::Binary { op: t1, left: a1, right: b } = left.as_ref() else {
+        return None;
+    };
+    let Pattern::Binary { op: t2, left: a2, right: c } = right.as_ref() else {
+        return None;
+    };
+    if t1 != t2 || a1 != a2 {
+        return None;
+    }
+    Some(Pattern::binary(
+        *t1,
+        a1.as_ref().clone(),
+        Pattern::binary(Op::Choice, b.as_ref().clone(), c.as_ref().clone()),
+    ))
+}
+
+/// Factors a common right operand out of a choice (inverse of
+/// [`distribute_right`]): `(a θ c) ⊗ (b θ c) → (a ⊗ b) θ c`.
+#[must_use]
+pub fn factor_right(p: &Pattern) -> Option<Pattern> {
+    let Pattern::Binary { op: Op::Choice, left, right } = p else {
+        return None;
+    };
+    let Pattern::Binary { op: t1, left: a, right: c1 } = left.as_ref() else {
+        return None;
+    };
+    let Pattern::Binary { op: t2, left: b, right: c2 } = right.as_ref() else {
+        return None;
+    };
+    if t1 != t2 || c1 != c2 {
+        return None;
+    }
+    Some(Pattern::binary(
+        *t1,
+        Pattern::binary(Op::Choice, a.as_ref().clone(), b.as_ref().clone()),
+        c1.as_ref().clone(),
+    ))
+}
+
+/// All law-applications available at the *root* of `p`, labelled with the
+/// law name. Used by the rewrite explorer and tested against the engine for
+/// semantic equivalence.
+#[must_use]
+pub fn root_rewrites(p: &Pattern) -> Vec<(&'static str, Pattern)> {
+    let mut out = Vec::new();
+    if let Some(q) = reassociate_left(p) {
+        out.push(("reassociate-left (T2/T4)", q));
+    }
+    if let Some(q) = reassociate_right(p) {
+        out.push(("reassociate-right (T2/T4)", q));
+    }
+    if let Some(q) = commute(p) {
+        out.push(("commute (T3)", q));
+    }
+    if let Some(q) = distribute_left(p) {
+        out.push(("distribute-left (T5)", q));
+    }
+    if let Some(q) = distribute_right(p) {
+        out.push(("distribute-right (T5)", q));
+    }
+    if let Some(q) = factor_left(p) {
+        out.push(("factor-left (T5⁻¹)", q));
+    }
+    if let Some(q) = factor_right(p) {
+        out.push(("factor-right (T5⁻¹)", q));
+    }
+    out
+}
+
+/// One-step rewrites anywhere in the tree (root or any descendant).
+#[must_use]
+pub fn all_rewrites(p: &Pattern) -> Vec<(&'static str, Pattern)> {
+    let mut out = root_rewrites(p);
+    if let Pattern::Binary { op, left, right } = p {
+        for (law, l) in all_rewrites(left) {
+            out.push((law, Pattern::binary(*op, l, right.as_ref().clone())));
+        }
+        for (law, r) in all_rewrites(right) {
+            out.push((law, Pattern::binary(*op, left.as_ref().clone(), r)));
+        }
+    }
+    out
+}
+
+/// A flattened associative chain: `first` followed by `(op, operand)`
+/// steps. For `{⊙, →}` chains the ops may differ (Theorem 4); for `⊗`/`⊕`
+/// chains they are all equal.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Chain {
+    /// The leftmost operand.
+    pub first: Pattern,
+    /// The operators and their right operands, in infix order.
+    pub rest: Vec<(Op, Pattern)>,
+}
+
+impl Chain {
+    /// Rebuilds the chain left-deep: `((first op1 x1) op2 x2) …`.
+    #[must_use]
+    pub fn left_deep(&self) -> Pattern {
+        let mut acc = self.first.clone();
+        for (op, operand) in &self.rest {
+            acc = Pattern::binary(*op, acc, operand.clone());
+        }
+        acc
+    }
+
+    /// Rebuilds the chain right-deep: `first op1 (x1 op2 (x2 …))`.
+    #[must_use]
+    pub fn right_deep(&self) -> Pattern {
+        if self.rest.is_empty() {
+            return self.first.clone();
+        }
+        let mut iter = self.rest.iter().rev();
+        let (last_op, last) = iter.next().expect("nonempty");
+        let mut acc = last.clone();
+        let mut pending_op = *last_op;
+        for (op, operand) in iter {
+            acc = Pattern::binary(pending_op, operand.clone(), acc);
+            pending_op = *op;
+        }
+        Pattern::binary(pending_op, self.first.clone(), acc)
+    }
+
+    /// Number of operands in the chain.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rest.len() + 1
+    }
+
+    /// Whether the chain is a single operand.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        false // a chain always has at least its first operand
+    }
+}
+
+/// Flattens the maximal reassociable chain at the root of `p`.
+///
+/// For a root in the `{⊙, →}` family this gathers every descendant
+/// reachable through `{⊙, →}` nodes; for `⊗`/`⊕` roots it gathers
+/// same-operator descendants. Atoms produce a single-operand chain.
+#[must_use]
+pub fn flatten_chain(p: &Pattern) -> Chain {
+    fn in_family(op: Op, root: Op) -> bool {
+        can_reassociate(root, op)
+    }
+    fn walk(p: &Pattern, root: Op, out: &mut Vec<(Option<Op>, Pattern)>) {
+        match p {
+            Pattern::Binary { op, left, right } if in_family(*op, root) => {
+                walk(left, root, out);
+                // The operator of this node sits between left's last operand
+                // and right's first operand.
+                let mark = out.len();
+                walk(right, root, out);
+                debug_assert!(mark < out.len());
+                out[mark].0 = Some(*op);
+            }
+            other => out.push((None, other.clone())),
+        }
+    }
+    match p {
+        Pattern::Atom(_) => Chain { first: p.clone(), rest: Vec::new() },
+        Pattern::Binary { op, .. } => {
+            let mut items: Vec<(Option<Op>, Pattern)> = Vec::new();
+            walk(p, *op, &mut items);
+            let mut iter = items.into_iter();
+            let (_, first) = iter.next().expect("chain has at least one operand");
+            let rest = iter
+                .map(|(op, operand)| (op.expect("interior operands are op-marked"), operand))
+                .collect();
+            Chain { first, rest }
+        }
+    }
+}
+
+/// Canonicalizes a pattern modulo associativity (Theorems 2, 4) and
+/// commutativity (Theorem 3): reassociable chains become left-deep, and
+/// the operands of `⊗`/`⊕` chains are sorted structurally.
+///
+/// Two patterns with equal canonical forms are semantically equivalent;
+/// the converse does not hold (distributivity, Theorem 5, is not applied —
+/// `(A → B) ⊗ (A → C)` and `A → (B ⊗ C)` canonicalize differently even
+/// though they are equivalent).
+#[must_use]
+pub fn canonicalize(p: &Pattern) -> Pattern {
+    match p {
+        Pattern::Atom(_) => p.clone(),
+        Pattern::Binary { op, .. } => {
+            let chain = flatten_chain(p);
+            // Canonicalize operands first.
+            let first = canonicalize(&chain.first);
+            let rest: Vec<(Op, Pattern)> = chain
+                .rest
+                .iter()
+                .map(|(o, q)| (*o, canonicalize(q)))
+                .collect();
+            if op.is_commutative() {
+                // All ops in the chain equal `op`; sort operands.
+                let mut operands: Vec<Pattern> = std::iter::once(first)
+                    .chain(rest.into_iter().map(|(_, q)| q))
+                    .collect();
+                operands.sort();
+                let mut iter = operands.into_iter();
+                let mut acc = iter.next().expect("nonempty");
+                for q in iter {
+                    acc = Pattern::binary(*op, acc, q);
+                }
+                acc
+            } else {
+                Chain { first, rest }.left_deep()
+            }
+        }
+    }
+}
+
+/// Structural equivalence modulo associativity and commutativity — a
+/// sound (but incomplete) approximation of Definition 5 equivalence.
+///
+/// ```
+/// use wlq_pattern::{ac_equivalent, Pattern};
+/// let p: Pattern = "(A | B) | C".parse().unwrap();
+/// let q: Pattern = "C | (B | A)".parse().unwrap();
+/// assert!(ac_equivalent(&p, &q));
+/// ```
+#[must_use]
+pub fn ac_equivalent(p: &Pattern, q: &Pattern) -> bool {
+    canonicalize(p) == canonicalize(q)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> Pattern {
+        Pattern::parse(s).unwrap()
+    }
+
+    #[test]
+    fn reassociation_applies_to_equal_ops() {
+        for src in ["(A -> B) -> C", "(A ~> B) ~> C", "(A | B) | C", "(A & B) & C"] {
+            let p = parse(src);
+            let r = reassociate_right(&p).unwrap();
+            assert_eq!(reassociate_left(&r).unwrap(), p);
+        }
+    }
+
+    #[test]
+    fn theorem4_mixed_cons_seq_reassociates() {
+        // (A ~> B) -> C  ⇌  A ~> (B -> C): operators keep their operand pairs.
+        let p = parse("(A ~> B) -> C");
+        let r = reassociate_right(&p).unwrap();
+        assert_eq!(r, parse("A ~> (B -> C)"));
+        assert_eq!(reassociate_left(&r).unwrap(), p);
+    }
+
+    #[test]
+    fn reassociation_refuses_cross_family() {
+        assert!(reassociate_right(&parse("(A | B) -> C")).is_none());
+        assert!(reassociate_right(&parse("(A & B) | C")).is_none());
+        assert!(reassociate_left(&parse("A -> (B & C)")).is_none());
+        assert!(reassociate_right(&parse("A -> B")).is_none()); // left is atom
+    }
+
+    #[test]
+    fn commute_only_choice_and_parallel() {
+        assert_eq!(commute(&parse("A | B")).unwrap(), parse("B | A"));
+        assert_eq!(commute(&parse("A & B")).unwrap(), parse("B & A"));
+        assert!(commute(&parse("A -> B")).is_none());
+        assert!(commute(&parse("A ~> B")).is_none());
+        assert!(commute(&parse("A")).is_none());
+    }
+
+    #[test]
+    fn distribution_and_factoring_are_inverse() {
+        for theta in ["->", "~>", "&"] {
+            let p = parse(&format!("A {theta} (B | C)"));
+            let d = distribute_left(&p).unwrap();
+            assert_eq!(d, parse(&format!("(A {theta} B) | (A {theta} C)")));
+            assert_eq!(factor_left(&d).unwrap(), p);
+
+            let p = parse(&format!("(A | B) {theta} C"));
+            let d = distribute_right(&p).unwrap();
+            assert_eq!(d, parse(&format!("(A {theta} C) | (B {theta} C)")));
+            assert_eq!(factor_right(&d).unwrap(), p);
+        }
+    }
+
+    #[test]
+    fn factoring_requires_shared_operand_and_op() {
+        assert!(factor_left(&parse("(A -> B) | (X -> C)")).is_none());
+        assert!(factor_left(&parse("(A -> B) | (A ~> C)")).is_none());
+        assert!(factor_right(&parse("(A -> C) | (B -> X)")).is_none());
+    }
+
+    #[test]
+    fn root_rewrites_lists_applicable_laws() {
+        let p = parse("(A -> B) -> C");
+        let laws: Vec<&str> = root_rewrites(&p).into_iter().map(|(l, _)| l).collect();
+        assert!(laws.contains(&"reassociate-right (T2/T4)"));
+        assert!(!laws.contains(&"commute (T3)"));
+
+        let p = parse("A | (B | C)");
+        let laws: Vec<&str> = root_rewrites(&p).into_iter().map(|(l, _)| l).collect();
+        assert!(laws.contains(&"reassociate-left (T2/T4)"));
+        assert!(laws.contains(&"commute (T3)"));
+        assert!(laws.contains(&"distribute-left (T5)"));
+    }
+
+    #[test]
+    fn all_rewrites_reaches_subtrees() {
+        let p = parse("X & ((A -> B) -> C)");
+        let found = all_rewrites(&p)
+            .into_iter()
+            .any(|(_, q)| q == parse("X & (A -> (B -> C))"));
+        assert!(found);
+    }
+
+    #[test]
+    fn flatten_chain_collects_mixed_family() {
+        let p = parse("A ~> B -> C ~> D");
+        let chain = flatten_chain(&p);
+        assert_eq!(chain.len(), 4);
+        assert_eq!(chain.first, parse("A"));
+        assert_eq!(
+            chain.rest,
+            vec![
+                (Op::Consecutive, parse("B")),
+                (Op::Sequential, parse("C")),
+                (Op::Consecutive, parse("D")),
+            ]
+        );
+        // Rebuilding left-deep gives back the left-assoc parse.
+        assert_eq!(chain.left_deep(), p);
+    }
+
+    #[test]
+    fn flatten_chain_stops_at_other_operators() {
+        let p = parse("(A | B) -> C");
+        let chain = flatten_chain(&p);
+        assert_eq!(chain.len(), 2);
+        assert_eq!(chain.first, parse("A | B"));
+    }
+
+    #[test]
+    fn right_deep_rebuild_preserves_operator_positions() {
+        let p = parse("A ~> B -> C");
+        let chain = flatten_chain(&p);
+        let rd = chain.right_deep();
+        assert_eq!(rd, parse("A ~> (B -> C)"));
+        // And flattening the right-deep form gives the same chain.
+        assert_eq!(flatten_chain(&rd), chain);
+    }
+
+    #[test]
+    fn canonicalize_sorts_commutative_chains() {
+        assert_eq!(
+            canonicalize(&parse("C | (B | A)")),
+            canonicalize(&parse("(A | B) | C"))
+        );
+        assert_eq!(
+            canonicalize(&parse("B & A")),
+            canonicalize(&parse("A & B"))
+        );
+        // Non-commutative chains keep operand order.
+        assert_ne!(
+            canonicalize(&parse("A -> B")),
+            canonicalize(&parse("B -> A"))
+        );
+    }
+
+    #[test]
+    fn ac_equivalence_examples() {
+        assert!(ac_equivalent(&parse("A -> (B -> C)"), &parse("(A -> B) -> C")));
+        assert!(ac_equivalent(&parse("A ~> (B -> C)"), &parse("(A ~> B) -> C")));
+        assert!(ac_equivalent(&parse("(A & B) & (C & D)"), &parse("D & C & B & A")));
+        assert!(!ac_equivalent(&parse("A -> B"), &parse("A ~> B")));
+        // Distribution is *not* captured (documented incompleteness).
+        assert!(!ac_equivalent(
+            &parse("A -> (B | C)"),
+            &parse("(A -> B) | (A -> C)")
+        ));
+    }
+
+    #[test]
+    fn canonicalize_is_idempotent() {
+        for src in [
+            "A",
+            "C | (B | A)",
+            "A ~> (B -> C) ~> D",
+            "(A & B) | (C -> D)",
+            "!X -> (Y | Z & W)",
+        ] {
+            let c = canonicalize(&parse(src));
+            assert_eq!(canonicalize(&c), c, "not idempotent for {src}");
+        }
+    }
+
+    #[test]
+    fn nested_commutative_sorting_is_recursive() {
+        let p = parse("(B | A) -> (D & C)");
+        let c = canonicalize(&p);
+        assert_eq!(c, parse("(A | B) -> (C & D)"));
+    }
+}

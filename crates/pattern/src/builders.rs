@@ -1,0 +1,212 @@
+//! Convenience constructors for common pattern shapes, plus structural
+//! transformations over atoms.
+
+use std::collections::BTreeSet;
+
+use wlq_log::Activity;
+
+use crate::algebra::canonicalize;
+use crate::ast::{Op, Pattern};
+
+impl Pattern {
+    /// A left-deep chain of `op` over `operands`; `None` when empty.
+    ///
+    /// ```
+    /// use wlq_pattern::{Op, Pattern};
+    /// let p = Pattern::chain(Op::Sequential, ["A", "B", "C"].map(Pattern::atom)).unwrap();
+    /// assert_eq!(p.to_string(), "A -> B -> C");
+    /// ```
+    #[must_use]
+    pub fn chain(op: Op, operands: impl IntoIterator<Item = Pattern>) -> Option<Pattern> {
+        let mut iter = operands.into_iter();
+        let mut acc = iter.next()?;
+        for operand in iter {
+            acc = Pattern::binary(op, acc, operand);
+        }
+        Some(acc)
+    }
+
+    /// `a1 | a2 | …` over activity names; `None` when empty. "One of
+    /// these activities executed."
+    #[must_use]
+    pub fn any_of<I, S>(activities: I) -> Option<Pattern>
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<Activity>,
+    {
+        Pattern::chain(Op::Choice, activities.into_iter().map(Pattern::atom))
+    }
+
+    /// `a1 & a2 & …` over activity names; `None` when empty. "All of
+    /// these activities executed (on distinct records)."
+    #[must_use]
+    pub fn all_of<I, S>(activities: I) -> Option<Pattern>
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<Activity>,
+    {
+        Pattern::chain(Op::Parallel, activities.into_iter().map(Pattern::atom))
+    }
+
+    /// `a1 -> a2 -> …` over activity names; `None` when empty. "These
+    /// activities executed in this order."
+    #[must_use]
+    pub fn ordered<I, S>(activities: I) -> Option<Pattern>
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<Activity>,
+    {
+        Pattern::chain(Op::Sequential, activities.into_iter().map(Pattern::atom))
+    }
+
+    /// `a1 ~> a2 ~> …` over activity names; `None` when empty. "These
+    /// activities executed back to back."
+    #[must_use]
+    pub fn directly<I, S>(activities: I) -> Option<Pattern>
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<Activity>,
+    {
+        Pattern::chain(Op::Consecutive, activities.into_iter().map(Pattern::atom))
+    }
+
+    /// `open -> (body -> close)`: the body happens strictly inside the
+    /// `[open, close]` fence — e.g. "an update between check-in and
+    /// reimbursement".
+    #[must_use]
+    pub fn fenced(open: Pattern, body: Pattern, close: Pattern) -> Pattern {
+        open.seq(body.seq(close))
+    }
+
+    /// The set of distinct activity names mentioned by the pattern.
+    #[must_use]
+    pub fn activities(&self) -> BTreeSet<Activity> {
+        self.activity_multiset().into_keys().collect()
+    }
+
+    /// Returns a copy with every atom named `from` renamed to `to`
+    /// (predicates and negation preserved).
+    #[must_use]
+    pub fn rename_activity(&self, from: &str, to: &str) -> Pattern {
+        match self {
+            Pattern::Atom(atom) => {
+                let mut atom = atom.clone();
+                if atom.activity.as_str() == from {
+                    atom.activity = Activity::new(to);
+                }
+                Pattern::Atom(atom)
+            }
+            Pattern::Binary { op, left, right } => Pattern::binary(
+                *op,
+                left.rename_activity(from, to),
+                right.rename_activity(from, to),
+            ),
+        }
+    }
+
+    /// Simplifies the pattern using semantics-preserving identities:
+    ///
+    /// * **choice idempotence** — `p ⊗ p ≡ p` (Definition 4: the union of
+    ///   a set with itself), applied modulo associativity/commutativity,
+    ///   so duplicate operands anywhere in a `⊗` chain collapse.
+    ///
+    /// The result is AC-canonical (see
+    /// [`canonicalize`](crate::canonicalize)).
+    #[must_use]
+    pub fn simplify(&self) -> Pattern {
+        let simplified = match self {
+            Pattern::Atom(_) => self.clone(),
+            Pattern::Binary { op, left, right } => {
+                Pattern::binary(*op, left.simplify(), right.simplify())
+            }
+        };
+        let canonical = canonicalize(&simplified);
+        match &canonical {
+            Pattern::Binary { op: Op::Choice, .. } => {
+                // Flatten the (already canonical, sorted) choice chain and
+                // drop duplicates.
+                let chain = crate::algebra::flatten_chain(&canonical);
+                let mut operands: Vec<Pattern> = std::iter::once(chain.first)
+                    .chain(chain.rest.into_iter().map(|(_, q)| q))
+                    .collect();
+                operands.dedup();
+                Pattern::chain(Op::Choice, operands).expect("chain is nonempty")
+            }
+            _ => canonical,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> Pattern {
+        Pattern::parse(s).unwrap()
+    }
+
+    #[test]
+    fn chain_builders_produce_left_deep_chains() {
+        assert_eq!(Pattern::ordered(["A", "B", "C"]).unwrap(), parse("A -> B -> C"));
+        assert_eq!(Pattern::directly(["A", "B"]).unwrap(), parse("A ~> B"));
+        assert_eq!(Pattern::any_of(["A", "B"]).unwrap(), parse("A | B"));
+        assert_eq!(Pattern::all_of(["A", "B", "C"]).unwrap(), parse("A & B & C"));
+        assert_eq!(Pattern::ordered(Vec::<&str>::new()), None);
+        assert_eq!(Pattern::ordered(["Solo"]).unwrap(), Pattern::atom("Solo"));
+    }
+
+    #[test]
+    fn fenced_builds_the_example5_shape() {
+        let p = Pattern::fenced(
+            Pattern::atom("SeeDoctor"),
+            Pattern::atom("UpdateRefer"),
+            Pattern::atom("GetReimburse"),
+        );
+        assert_eq!(p, parse("SeeDoctor -> (UpdateRefer -> GetReimburse)"));
+    }
+
+    #[test]
+    fn activities_collects_distinct_names() {
+        let p = parse("A -> (B | A) & !C");
+        let names: Vec<String> =
+            p.activities().iter().map(|a| a.as_str().to_string()).collect();
+        assert_eq!(names, ["A", "B", "C"]);
+    }
+
+    #[test]
+    fn rename_preserves_structure_and_negation() {
+        let p = parse("!A ~> (A -> B)");
+        let renamed = p.rename_activity("A", "X");
+        assert_eq!(renamed, parse("!X ~> (X -> B)"));
+        // Renaming something absent is the identity.
+        assert_eq!(p.rename_activity("Z", "Q"), p);
+    }
+
+    #[test]
+    fn simplify_collapses_duplicate_choice_operands() {
+        assert_eq!(parse("A | A").simplify(), parse("A"));
+        assert_eq!(parse("A | B | A").simplify(), parse("A | B"));
+        // Nested duplicates collapse through canonicalization.
+        assert_eq!(parse("(B | A) | (A | B)").simplify(), parse("A | B"));
+        // Equivalent-modulo-AC operands are detected.
+        assert_eq!(parse("(A & B) | (B & A)").simplify(), parse("A & B"));
+    }
+
+    #[test]
+    fn simplify_leaves_distinct_choices_and_other_ops_alone() {
+        assert_eq!(parse("A | B").simplify(), parse("A | B"));
+        // Parallel self-composition is NOT idempotent (needs two distinct
+        // records), so it must survive.
+        assert_eq!(parse("A & A").simplify(), parse("A & A"));
+        // Sequential self-composition likewise.
+        assert_eq!(parse("A -> A").simplify(), parse("A -> A"));
+    }
+
+    #[test]
+    fn simplify_is_idempotent() {
+        for src in ["A | A | A", "(A -> B) | (A -> B)", "A & (B | B)"] {
+            let once = parse(src).simplify();
+            assert_eq!(once.simplify(), once, "{src}");
+        }
+    }
+}

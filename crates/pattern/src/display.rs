@@ -1,0 +1,141 @@
+//! Precedence-aware pretty printing of patterns.
+//!
+//! [`Pattern`]'s `Display` prints the ASCII text syntax with the minimal
+//! parenthesisation needed to re-parse to the same tree. An alternate
+//! renderer, [`to_symbolic`], prints the paper's Unicode operators.
+
+use std::fmt;
+
+use crate::ast::{Op, Pattern};
+
+impl fmt::Display for Pattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write(self, f, false)
+    }
+}
+
+/// Renders a pattern with the paper's operator glyphs (`⊙ → ⊗ ⊕`).
+///
+/// ```
+/// use wlq_pattern::Pattern;
+/// let p: Pattern = "A -> B & C".parse().unwrap();
+/// assert_eq!(wlq_pattern::to_symbolic(&p), "A → B ⊕ C");
+/// ```
+#[must_use]
+pub fn to_symbolic(p: &Pattern) -> String {
+    let mut out = String::new();
+    render(p, &mut out, true, None, false);
+    out
+}
+
+fn write(p: &Pattern, f: &mut fmt::Formatter<'_>, _symbolic: bool) -> fmt::Result {
+    let mut out = String::new();
+    render(p, &mut out, false, None, false);
+    f.write_str(&out)
+}
+
+/// Recursive renderer.
+///
+/// `parent` is the operator above this node (`None` at the root);
+/// `is_right` says whether this node is the right operand. Parentheses are
+/// required when the child binds looser than the parent, or equally tight
+/// on the right side (all operators are parsed left-associatively, so a
+/// right-nested same-precedence child needs parens to round-trip).
+fn render(p: &Pattern, out: &mut String, symbolic: bool, parent: Option<Op>, is_right: bool) {
+    match p {
+        Pattern::Atom(a) => out.push_str(&a.to_string()),
+        Pattern::Binary { op, left, right } => {
+            let needs_parens = match parent {
+                None => false,
+                Some(parent_op) => {
+                    op.precedence() < parent_op.precedence()
+                        || (op.precedence() == parent_op.precedence() && is_right)
+                }
+            };
+            if needs_parens {
+                out.push('(');
+            }
+            render(left, out, symbolic, Some(*op), false);
+            out.push(' ');
+            out.push_str(if symbolic { op.symbol() } else { op.ascii() });
+            out.push(' ');
+            render(right, out, symbolic, Some(*op), true);
+            if needs_parens {
+                out.push(')');
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(name: &str) -> Pattern {
+        Pattern::atom(name)
+    }
+
+    #[test]
+    fn atoms_print_bare() {
+        assert_eq!(p("A").to_string(), "A");
+        assert_eq!(Pattern::not_atom("A").to_string(), "!A");
+    }
+
+    #[test]
+    fn left_nesting_at_same_precedence_needs_no_parens() {
+        let pat = p("A").seq(p("B")).seq(p("C"));
+        assert_eq!(pat.to_string(), "A -> B -> C");
+    }
+
+    #[test]
+    fn right_nesting_at_same_precedence_is_parenthesised() {
+        let pat = p("A").seq(p("B").seq(p("C")));
+        assert_eq!(pat.to_string(), "A -> (B -> C)");
+    }
+
+    #[test]
+    fn looser_children_are_parenthesised() {
+        // choice under sequential needs parens…
+        let pat = p("A").alt(p("B")).seq(p("C"));
+        assert_eq!(pat.to_string(), "(A | B) -> C");
+        // …but sequential under choice does not.
+        let pat = p("A").seq(p("B")).alt(p("C"));
+        assert_eq!(pat.to_string(), "A -> B | C");
+    }
+
+    #[test]
+    fn mixed_consecutive_sequential_share_precedence() {
+        let pat = p("A").cons(p("B")).seq(p("C"));
+        assert_eq!(pat.to_string(), "A ~> B -> C");
+        let pat = p("A").cons(p("B").seq(p("C")));
+        assert_eq!(pat.to_string(), "A ~> (B -> C)");
+    }
+
+    #[test]
+    fn parallel_sits_between_choice_and_sequence() {
+        let pat = p("A").par(p("B")).alt(p("C"));
+        assert_eq!(pat.to_string(), "A & B | C");
+        let pat = p("A").alt(p("B")).par(p("C"));
+        assert_eq!(pat.to_string(), "(A | B) & C");
+        let pat = p("A").seq(p("B")).par(p("C"));
+        assert_eq!(pat.to_string(), "A -> B & C");
+        let pat = p("A").par(p("B")).seq(p("C"));
+        assert_eq!(pat.to_string(), "(A & B) -> C");
+    }
+
+    #[test]
+    fn symbolic_rendering_uses_paper_glyphs() {
+        let pat = p("A").cons(p("B")).seq(p("C").alt(p("D").par(p("E"))));
+        assert_eq!(to_symbolic(&pat), "A ⊙ B → (C ⊗ D ⊕ E)");
+    }
+
+    #[test]
+    fn example5_pattern_prints_like_the_paper() {
+        let pat = p("SeeDoctor").seq(p("UpdateRefer").seq(p("GetReimburse")));
+        assert_eq!(pat.to_string(), "SeeDoctor -> (UpdateRefer -> GetReimburse)");
+        assert_eq!(
+            to_symbolic(&pat),
+            "SeeDoctor → (UpdateRefer → GetReimburse)"
+        );
+    }
+}

@@ -1,0 +1,84 @@
+//! Errors produced while parsing pattern text.
+
+use std::fmt;
+
+/// An error encountered while lexing or parsing an incident-pattern
+/// expression, with the byte offset at which it occurred.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsePatternError {
+    /// Byte offset into the input where the problem was detected.
+    pub position: usize,
+    /// What went wrong.
+    pub kind: ParseErrorKind,
+}
+
+/// The kinds of pattern parse errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseErrorKind {
+    /// A character that cannot start any token.
+    UnexpectedChar(char),
+    /// The input ended while an expression was still expected.
+    UnexpectedEnd,
+    /// A token appeared where an operand was expected, or vice versa.
+    UnexpectedToken(String),
+    /// A `(` without matching `)`.
+    UnbalancedParen,
+    /// A string literal without closing quote.
+    UnterminatedString,
+    /// A malformed predicate (inside `[...]`).
+    BadPredicate(String),
+    /// The expression was empty.
+    EmptyInput,
+}
+
+impl ParsePatternError {
+    pub(crate) fn new(position: usize, kind: ParseErrorKind) -> Self {
+        ParsePatternError { position, kind }
+    }
+}
+
+impl fmt::Display for ParsePatternError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.kind {
+            ParseErrorKind::UnexpectedChar(c) => {
+                write!(f, "unexpected character {c:?} at offset {}", self.position)
+            }
+            ParseErrorKind::UnexpectedEnd => {
+                write!(f, "unexpected end of pattern at offset {}", self.position)
+            }
+            ParseErrorKind::UnexpectedToken(t) => {
+                write!(f, "unexpected {t} at offset {}", self.position)
+            }
+            ParseErrorKind::UnbalancedParen => {
+                write!(f, "unbalanced parenthesis at offset {}", self.position)
+            }
+            ParseErrorKind::UnterminatedString => {
+                write!(f, "unterminated string literal at offset {}", self.position)
+            }
+            ParseErrorKind::BadPredicate(msg) => {
+                write!(f, "bad predicate at offset {}: {msg}", self.position)
+            }
+            ParseErrorKind::EmptyInput => write!(f, "empty pattern"),
+        }
+    }
+}
+
+impl std::error::Error for ParsePatternError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_mention_the_offset() {
+        let e = ParsePatternError::new(7, ParseErrorKind::UnexpectedChar('%'));
+        assert!(e.to_string().contains("offset 7"));
+        assert!(e.to_string().contains('%'));
+    }
+
+    #[test]
+    fn error_is_send_sync_error() {
+        fn assert_traits<T: std::error::Error + Send + Sync>() {}
+        assert_traits::<ParsePatternError>();
+    }
+}

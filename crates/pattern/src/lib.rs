@@ -1,0 +1,55 @@
+//! # wlq-pattern — the incident-pattern algebra
+//!
+//! Incident patterns (Definition 3 of *"Querying Workflow Logs"*) are the
+//! query expressions of WLQ: atomic patterns `t` / `¬t` composed with four
+//! BPMN-inspired binary operators — consecutive `⊙`, sequential `→`,
+//! choice `⊗`, and parallel `⊕`.
+//!
+//! This crate provides:
+//!
+//! * the [`Pattern`] AST and combinators,
+//! * a text syntax with a shunting-yard parser
+//!   ([`Pattern::parse`], [`to_postfix`], [`from_postfix`]),
+//! * the algebraic laws of Theorems 2–5 as rewrites ([`algebra`]),
+//!   reshaping utilities ([`rewrite`]), and
+//! * a cost-based optimizer built on those laws ([`optimize`]).
+//!
+//! ## Quick start
+//!
+//! ```
+//! use wlq_pattern::Pattern;
+//!
+//! // "Did anyone update a referral before being reimbursed?"
+//! let p: Pattern = "UpdateRefer -> GetReimburse".parse()?;
+//! assert_eq!(p.num_operators(), 1);
+//! assert_eq!(wlq_pattern::to_symbolic(&p), "UpdateRefer → GetReimburse");
+//! # Ok::<(), wlq_pattern::ParsePatternError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+mod ast;
+mod builders;
+mod display;
+mod error;
+mod parser;
+mod token;
+
+pub mod algebra;
+pub mod optimize;
+pub mod rewrite;
+pub mod shunting;
+
+mod random;
+
+pub use algebra::{ac_equivalent, canonicalize};
+pub use ast::{Atom, CmpOp, Op, Pattern, Predicate, Scope};
+pub use display::to_symbolic;
+pub use error::{ParseErrorKind, ParsePatternError};
+pub use optimize::{CostModel, OptimizeReport, Optimizer};
+pub use parser::is_valid_pattern;
+pub use random::{random_pattern, sequential_chain, theorem1_worst_case, PatternGenConfig};
+pub use rewrite::{choice_normal_form, from_alternatives};
+pub use shunting::{from_postfix, to_postfix, PostfixError, PostfixItem};
+pub use token::{tokenize, Spanned, Token};

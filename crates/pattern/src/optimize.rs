@@ -1,0 +1,459 @@
+//! Cost-based pattern optimization — the "immediate task" the paper's
+//! conclusion calls for, built on the laws of Section 4.
+//!
+//! Three passes, all equivalence-preserving by Theorems 2–5:
+//!
+//! 1. **Factoring** ([`crate::rewrite::factor`]): merge `(a θ b) ⊗ (a θ c)`
+//!    into `a θ (b ⊗ c)` so shared sub-patterns are evaluated once.
+//! 2. **Chain re-parenthesisation** (Theorems 2/4): dynamic programming
+//!    over each `{⊙, →}` chain picks the cheapest evaluation order, like
+//!    join ordering along a path.
+//! 3. **Commutative reordering** (Theorems 2/3): operands of `⊗`/`⊕`
+//!    chains are evaluated smallest-first.
+//!
+//! Costs come from a [`CostModel`] fed with per-activity counts
+//! ([`wlq_log::LogStats`]).
+
+use wlq_log::LogStats;
+
+use crate::algebra::{flatten_chain, Chain};
+use crate::ast::{Op, Pattern};
+use crate::rewrite::factor;
+
+/// Cardinality and cost estimates for pattern evaluation over a particular
+/// log, derived from [`LogStats`].
+#[derive(Debug, Clone)]
+pub struct CostModel {
+    num_records: f64,
+    num_instances: f64,
+    stats: LogStats,
+}
+
+impl CostModel {
+    /// Builds a model from log statistics.
+    #[must_use]
+    pub fn new(stats: LogStats) -> Self {
+        #[allow(clippy::cast_precision_loss)]
+        CostModel {
+            num_records: stats.num_records.max(1) as f64,
+            num_instances: stats.num_instances.max(1) as f64,
+            stats,
+        }
+    }
+
+    /// Estimated `|incL(p)|` across the whole log.
+    ///
+    /// Atoms use exact activity counts; composites use uniform-placement
+    /// approximations (a pair of incidents of one instance is adjacent with
+    /// probability `≈ 1/m`, ordered with probability `≈ 1/2`, and lands in
+    /// the same instance with probability `≈ 1/W`).
+    #[must_use]
+    pub fn estimate_incidents(&self, p: &Pattern) -> f64 {
+        match p {
+            Pattern::Atom(a) => {
+                #[allow(clippy::cast_precision_loss)]
+                let count = if a.negated {
+                    self.num_records - self.stats.activity_count(a.activity.as_str()) as f64
+                } else {
+                    self.stats.activity_count(a.activity.as_str()) as f64
+                };
+                // Each predicate filters; assume selectivity 1/2.
+                count * 0.5_f64.powi(a.predicates.len() as i32)
+            }
+            Pattern::Binary { op, left, right } => {
+                let n1 = self.estimate_incidents(left);
+                let n2 = self.estimate_incidents(right);
+                self.combine_estimate(*op, n1, n2)
+            }
+        }
+    }
+
+    /// Estimated output size of combining incident sets of sizes `n1`,
+    /// `n2` under `op`.
+    #[must_use]
+    pub fn combine_estimate(&self, op: Op, n1: f64, n2: f64) -> f64 {
+        match op {
+            Op::Consecutive => n1 * n2 / self.num_records,
+            Op::Sequential => n1 * n2 / (2.0 * self.num_instances),
+            Op::Choice => n1 + n2,
+            Op::Parallel => n1 * n2 / self.num_instances,
+        }
+    }
+
+    /// Estimated work of combining two incident sets under `op` with the
+    /// paper's Algorithm 1 (Lemma 1 cost shapes).
+    #[must_use]
+    pub fn combine_cost(&self, op: Op, n1: f64, n2: f64, k1: f64, k2: f64) -> f64 {
+        match op {
+            Op::Consecutive | Op::Sequential => n1 * n2,
+            Op::Choice => (n1 + n2) * k1.min(k2).max(1.0),
+            Op::Parallel => n1 * n2 * (k1 + k2),
+        }
+    }
+
+    /// Estimated total evaluation work for `p` (leaf scans plus all
+    /// operator applications).
+    #[must_use]
+    pub fn estimate_cost(&self, p: &Pattern) -> f64 {
+        match p {
+            Pattern::Atom(_) => self.num_records,
+            Pattern::Binary { op, left, right } => {
+                let n1 = self.estimate_incidents(left);
+                let n2 = self.estimate_incidents(right);
+                #[allow(clippy::cast_precision_loss)]
+                let (k1, k2) = (left.num_atoms() as f64, right.num_atoms() as f64);
+                self.estimate_cost(left)
+                    + self.estimate_cost(right)
+                    + self.combine_cost(*op, n1, n2, k1, k2)
+            }
+        }
+    }
+}
+
+/// The report produced alongside an optimized pattern.
+#[derive(Debug, Clone)]
+pub struct OptimizeReport {
+    /// Estimated cost of the input pattern.
+    pub cost_before: f64,
+    /// Estimated cost of the optimized pattern.
+    pub cost_after: f64,
+    /// Human-readable descriptions of the transformations applied.
+    pub decisions: Vec<String>,
+}
+
+impl OptimizeReport {
+    /// Estimated speedup factor (`before / after`, at least 1 for a
+    /// non-regressing optimizer).
+    #[must_use]
+    pub fn speedup(&self) -> f64 {
+        if self.cost_after <= 0.0 {
+            1.0
+        } else {
+            self.cost_before / self.cost_after
+        }
+    }
+}
+
+/// The cost-based optimizer.
+#[derive(Debug, Clone)]
+pub struct Optimizer {
+    model: CostModel,
+}
+
+impl Optimizer {
+    /// Creates an optimizer for logs matching `stats`.
+    #[must_use]
+    pub fn new(stats: LogStats) -> Self {
+        Optimizer { model: CostModel::new(stats) }
+    }
+
+    /// Access to the underlying cost model.
+    #[must_use]
+    pub fn model(&self) -> &CostModel {
+        &self.model
+    }
+
+    /// Optimizes `p`, returning an equivalent pattern (by Theorems 2–5)
+    /// with lower or equal estimated cost.
+    #[must_use]
+    pub fn optimize(&self, p: &Pattern) -> Pattern {
+        self.optimize_with_report(p).0
+    }
+
+    /// Like [`optimize`](Self::optimize) but also reports costs and the
+    /// decisions taken.
+    #[must_use]
+    pub fn optimize_with_report(&self, p: &Pattern) -> (Pattern, OptimizeReport) {
+        let cost_before = self.model.estimate_cost(p);
+        let mut decisions = Vec::new();
+
+        let factored = factor(p);
+        if &factored != p {
+            decisions.push(format!("factored common choice operands: {factored}"));
+        }
+        let shaped = self.shape(&factored, &mut decisions);
+
+        // Never regress: if our estimate says the rewrite is worse, keep
+        // the original (the estimates are heuristic).
+        let cost_after = self.model.estimate_cost(&shaped);
+        if cost_after > cost_before {
+            decisions.push("rewrite estimated worse than input; kept input".to_string());
+            let report =
+                OptimizeReport { cost_before, cost_after: cost_before, decisions };
+            return (p.clone(), report);
+        }
+        (shaped, OptimizeReport { cost_before, cost_after, decisions })
+    }
+
+    /// Bottom-up reshaping: chain DP for `{⊙, →}`, smallest-first for
+    /// commutative chains.
+    fn shape(&self, p: &Pattern, decisions: &mut Vec<String>) -> Pattern {
+        match p {
+            Pattern::Atom(_) => p.clone(),
+            Pattern::Binary { op, .. } => {
+                let chain = flatten_chain(p);
+                let first = self.shape(&chain.first, decisions);
+                let rest: Vec<(Op, Pattern)> = chain
+                    .rest
+                    .iter()
+                    .map(|(o, q)| (*o, self.shape(q, decisions)))
+                    .collect();
+                let chain = Chain { first, rest };
+                if chain.len() <= 2 {
+                    return chain.left_deep();
+                }
+                if op.is_commutative() {
+                    self.order_commutative(*op, chain, decisions)
+                } else {
+                    self.parenthesize_chain(chain, decisions)
+                }
+            }
+        }
+    }
+
+    /// Sorts the operands of a `⊗`/`⊕` chain by estimated incident count,
+    /// smallest first (Theorems 2 + 3 make any order equivalent).
+    fn order_commutative(
+        &self,
+        op: Op,
+        chain: Chain,
+        decisions: &mut Vec<String>,
+    ) -> Pattern {
+        let mut operands: Vec<Pattern> = std::iter::once(chain.first)
+            .chain(chain.rest.into_iter().map(|(_, q)| q))
+            .collect();
+        let before: Vec<String> = operands.iter().map(ToString::to_string).collect();
+        operands.sort_by(|a, b| {
+            self.model
+                .estimate_incidents(a)
+                .total_cmp(&self.model.estimate_incidents(b))
+        });
+        let after: Vec<String> = operands.iter().map(ToString::to_string).collect();
+        if before != after {
+            decisions.push(format!(
+                "reordered {} chain smallest-first: {}",
+                op.name(),
+                after.join(&format!(" {} ", op.ascii()))
+            ));
+        }
+        let mut iter = operands.into_iter();
+        let mut acc = iter.next().expect("chains are nonempty");
+        for q in iter {
+            acc = Pattern::binary(op, acc, q);
+        }
+        acc
+    }
+
+    /// Matrix-chain-style DP over a `{⊙, →}` chain: choose the
+    /// parenthesisation minimising estimated intermediate work
+    /// (Theorems 2 and 4 make every parenthesisation equivalent).
+    fn parenthesize_chain(&self, chain: Chain, decisions: &mut Vec<String>) -> Pattern {
+        let operands: Vec<Pattern> = std::iter::once(chain.first.clone())
+            .chain(chain.rest.iter().map(|(_, q)| q.clone()))
+            .collect();
+        let ops: Vec<Op> = chain.rest.iter().map(|(o, _)| *o).collect();
+        let n = operands.len();
+
+        // size[i][j]: estimated incidents of the sub-chain i..=j.
+        // cost[i][j]: cheapest work to evaluate it. split[i][j]: argmin.
+        let mut size = vec![vec![0.0_f64; n]; n];
+        let mut cost = vec![vec![0.0_f64; n]; n];
+        let mut atoms = vec![vec![0.0_f64; n]; n];
+        let mut split = vec![vec![0_usize; n]; n];
+        for i in 0..n {
+            size[i][i] = self.model.estimate_incidents(&operands[i]);
+            cost[i][i] = self.model.estimate_cost(&operands[i]);
+            #[allow(clippy::cast_precision_loss)]
+            {
+                atoms[i][i] = operands[i].num_atoms() as f64;
+            }
+        }
+        for span in 1..n {
+            for i in 0..n - span {
+                let j = i + span;
+                let mut best = f64::INFINITY;
+                let mut best_k = i;
+                for k in i..j {
+                    let op = ops[k];
+                    let work = self.model.combine_cost(
+                        op,
+                        size[i][k],
+                        size[k + 1][j],
+                        atoms[i][k],
+                        atoms[k + 1][j],
+                    );
+                    let total = cost[i][k] + cost[k + 1][j] + work;
+                    if total < best {
+                        best = total;
+                        best_k = k;
+                    }
+                }
+                cost[i][j] = best;
+                split[i][j] = best_k;
+                size[i][j] = self.model.combine_estimate(
+                    ops[best_k],
+                    size[i][best_k],
+                    size[best_k + 1][j],
+                );
+                atoms[i][j] = atoms[i][best_k] + atoms[best_k + 1][j];
+            }
+        }
+
+        fn rebuild(
+            operands: &[Pattern],
+            ops: &[Op],
+            split: &[Vec<usize>],
+            i: usize,
+            j: usize,
+        ) -> Pattern {
+            if i == j {
+                return operands[i].clone();
+            }
+            let k = split[i][j];
+            Pattern::binary(
+                ops[k],
+                rebuild(operands, ops, split, i, k),
+                rebuild(operands, ops, split, k + 1, j),
+            )
+        }
+        let result = rebuild(&operands, &ops, &split, 0, n - 1);
+        let left = Chain {
+            first: operands[0].clone(),
+            rest: ops.iter().copied().zip(operands[1..].iter().cloned()).collect(),
+        }
+        .left_deep();
+        if result != left {
+            decisions.push(format!("re-parenthesised sequence chain: {result}"));
+        }
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wlq_log::paper;
+
+    fn parse(s: &str) -> Pattern {
+        Pattern::parse(s).unwrap()
+    }
+
+    fn optimizer() -> Optimizer {
+        Optimizer::new(LogStats::compute(&paper::figure3_log()))
+    }
+
+    #[test]
+    fn atom_estimates_use_exact_counts() {
+        let model = optimizer().model().clone();
+        assert_eq!(model.estimate_incidents(&parse("SeeDoctor")), 4.0);
+        assert_eq!(model.estimate_incidents(&parse("UpdateRefer")), 1.0);
+        assert_eq!(model.estimate_incidents(&parse("!SeeDoctor")), 16.0);
+        assert_eq!(model.estimate_incidents(&parse("Missing")), 0.0);
+    }
+
+    #[test]
+    fn predicate_estimates_halve_counts() {
+        let model = optimizer().model().clone();
+        let n = model.estimate_incidents(&parse("SeeDoctor[x > 1]"));
+        assert_eq!(n, 2.0);
+    }
+
+    #[test]
+    fn choice_estimate_is_additive() {
+        let model = optimizer().model().clone();
+        let n = model.estimate_incidents(&parse("SeeDoctor | PayTreatment"));
+        assert_eq!(n, 7.0);
+    }
+
+    #[test]
+    fn costs_grow_with_pattern_size() {
+        let model = optimizer().model().clone();
+        let small = model.estimate_cost(&parse("SeeDoctor"));
+        let big = model.estimate_cost(&parse("SeeDoctor -> PayTreatment -> GetReimburse"));
+        assert!(big > small);
+    }
+
+    #[test]
+    fn optimizer_factors_common_work() {
+        let opt = optimizer();
+        let p = parse("(SeeDoctor -> PayTreatment) | (SeeDoctor -> UpdateRefer)");
+        let (q, report) = opt.optimize_with_report(&p);
+        assert_eq!(q, parse("SeeDoctor -> (PayTreatment | UpdateRefer)"));
+        assert!(report.cost_after <= report.cost_before);
+        assert!(!report.decisions.is_empty());
+    }
+
+    #[test]
+    fn optimizer_orders_commutative_chains_smallest_first() {
+        let opt = optimizer();
+        // SeeDoctor (4) | UpdateRefer (1) | PayTreatment (3).
+        let p = parse("SeeDoctor | UpdateRefer | PayTreatment");
+        let q = opt.optimize(&p);
+        assert_eq!(q, parse("UpdateRefer | PayTreatment | SeeDoctor"));
+    }
+
+    #[test]
+    fn optimizer_preserves_sequential_operand_order() {
+        let opt = optimizer();
+        let p = parse("SeeDoctor -> UpdateRefer -> GetReimburse");
+        let q = opt.optimize(&p);
+        // Operand order must be unchanged (→ is not commutative); only the
+        // parenthesisation may differ.
+        let chain = flatten_chain(&q);
+        let names: Vec<String> = std::iter::once(chain.first.to_string())
+            .chain(chain.rest.iter().map(|(_, p)| p.to_string()))
+            .collect();
+        assert_eq!(names, ["SeeDoctor", "UpdateRefer", "GetReimburse"]);
+    }
+
+    #[test]
+    fn chain_dp_prefers_selective_joins_first() {
+        let opt = optimizer();
+        // START (3) -> SeeDoctor (4) -> UpdateRefer (1): joining the two
+        // rightmost first keeps intermediates small, so the DP should pick
+        // a right-leaning split at the top.
+        let p = parse("(START -> SeeDoctor) -> UpdateRefer");
+        let (q, report) = opt.optimize_with_report(&p);
+        assert!(report.cost_after <= report.cost_before);
+        // Whatever shape wins, it must be the same chain.
+        assert!(crate::algebra::ac_equivalent(&q, &p));
+    }
+
+    #[test]
+    fn optimizer_never_regresses_by_its_own_estimate() {
+        let opt = optimizer();
+        for src in [
+            "SeeDoctor",
+            "!START -> END",
+            "(SeeDoctor & CheckIn) | GetRefer",
+            "START ~> GetRefer ~> CheckIn",
+            "(GetRefer -> CheckIn) | (GetRefer -> SeeDoctor) | UpdateRefer",
+        ] {
+            let p = parse(src);
+            let (_, report) = opt.optimize_with_report(&p);
+            assert!(
+                report.cost_after <= report.cost_before + 1e-9,
+                "regressed on {src}: {report:?}"
+            );
+            assert!(report.speedup() >= 1.0);
+        }
+    }
+
+    #[test]
+    fn optimized_patterns_are_ac_or_distribution_equivalent() {
+        // For chains without choice, optimize must be AC-equivalent.
+        let opt = optimizer();
+        for src in [
+            "SeeDoctor -> UpdateRefer -> GetReimburse",
+            "CheckIn ~> SeeDoctor -> PayTreatment ~> TakeTreatment",
+            "SeeDoctor & PayTreatment & UpdateRefer",
+        ] {
+            let p = parse(src);
+            let q = opt.optimize(&p);
+            assert!(
+                crate::algebra::ac_equivalent(&p, &q),
+                "{src} optimized to non-AC-equivalent {q}"
+            );
+        }
+    }
+}

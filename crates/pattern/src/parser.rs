@@ -1,0 +1,448 @@
+//! The pattern parser: tokens → shunting-yard → [`Pattern`].
+
+use wlq_log::Value;
+
+use crate::ast::{Atom, Pattern, Predicate, Scope};
+use crate::error::{ParseErrorKind, ParsePatternError};
+use crate::shunting::{from_postfix, PostfixItem};
+use crate::token::{tokenize, Spanned, Token};
+
+impl Pattern {
+    /// Parses a pattern from the text syntax.
+    ///
+    /// Grammar (all operators left-associative; `~>`/`->` bind tightest,
+    /// then `&`, then `|`):
+    ///
+    /// ```text
+    /// pattern := operand (op operand)*
+    /// operand := '!'? ident predicates? | '(' pattern ')'
+    /// op      := '~>' | '->' | '&' | '|'     (or ⊙ → ⊕ ⊗)
+    /// predicates := '[' clause (',' clause)* ']'
+    /// clause  := ('in.'|'out.')? ident cmp value
+    /// cmp     := '=' | '!=' | '<' | '<=' | '>' | '>='
+    /// value   := integer | float | string | bareword
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParsePatternError`] with a byte offset on malformed input.
+    ///
+    /// ```
+    /// use wlq_pattern::Pattern;
+    /// let p: Pattern = "UpdateRefer -> GetReimburse".parse()?;
+    /// assert_eq!(p.num_operators(), 1);
+    /// # Ok::<(), wlq_pattern::ParsePatternError>(())
+    /// ```
+    pub fn parse(src: &str) -> Result<Pattern, ParsePatternError> {
+        let tokens = tokenize(src)?;
+        Parser { tokens, pos: 0, src_len: src.len() }.parse_all()
+    }
+}
+
+impl std::str::FromStr for Pattern {
+    type Err = ParsePatternError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Pattern::parse(s)
+    }
+}
+
+struct Parser {
+    tokens: Vec<Spanned>,
+    pos: usize,
+    src_len: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Spanned> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Spanned> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err_end(&self) -> ParsePatternError {
+        ParsePatternError::new(self.src_len, ParseErrorKind::UnexpectedEnd)
+    }
+
+    /// Shunting-yard over the token stream, emitting postfix items.
+    fn parse_all(mut self) -> Result<Pattern, ParsePatternError> {
+        if self.tokens.is_empty() {
+            return Err(ParsePatternError::new(0, ParseErrorKind::EmptyInput));
+        }
+        let mut output: Vec<PostfixItem> = Vec::new();
+        // Operator stack holds operators and open parens (None = paren).
+        let mut ops: Vec<(Option<crate::ast::Op>, usize)> = Vec::new();
+        let mut expect_operand = true;
+
+        while let Some(spanned) = self.peek().cloned() {
+            match (&spanned.token, expect_operand) {
+                (Token::Not | Token::Ident(_), true) => {
+                    let atom = self.parse_atom()?;
+                    output.push(PostfixItem::Atom(atom));
+                    expect_operand = false;
+                }
+                (Token::LParen, true) => {
+                    self.next();
+                    ops.push((None, spanned.pos));
+                }
+                (Token::RParen, false) => {
+                    self.next();
+                    let mut matched = false;
+                    while let Some((op, _)) = ops.pop() {
+                        match op {
+                            Some(op) => output.push(PostfixItem::Op(op)),
+                            None => {
+                                matched = true;
+                                break;
+                            }
+                        }
+                    }
+                    if !matched {
+                        return Err(ParsePatternError::new(
+                            spanned.pos,
+                            ParseErrorKind::UnbalancedParen,
+                        ));
+                    }
+                }
+                (Token::Op(op), false) => {
+                    self.next();
+                    while let Some(&(Some(top), _)) = ops.last() {
+                        // Left-associative: pop while top binds at least as
+                        // tightly.
+                        if top.precedence() >= op.precedence() {
+                            output.push(PostfixItem::Op(top));
+                            ops.pop();
+                        } else {
+                            break;
+                        }
+                    }
+                    ops.push((Some(*op), spanned.pos));
+                    expect_operand = true;
+                }
+                (tok, _) => {
+                    return Err(ParsePatternError::new(
+                        spanned.pos,
+                        ParseErrorKind::UnexpectedToken(tok.describe()),
+                    ));
+                }
+            }
+        }
+        if expect_operand {
+            return Err(self.err_end());
+        }
+        while let Some((op, pos)) = ops.pop() {
+            match op {
+                Some(op) => output.push(PostfixItem::Op(op)),
+                None => return Err(ParsePatternError::new(pos, ParseErrorKind::UnbalancedParen)),
+            }
+        }
+        from_postfix(output).map_err(|_| self.err_end())
+    }
+
+    /// `'!'? ident predicates?`
+    fn parse_atom(&mut self) -> Result<Atom, ParsePatternError> {
+        let mut negated = false;
+        if matches!(self.peek().map(|s| &s.token), Some(Token::Not)) {
+            self.next();
+            negated = true;
+        }
+        let name = match self.next() {
+            Some(Spanned { token: Token::Ident(name), .. }) => name,
+            Some(s) => {
+                return Err(ParsePatternError::new(
+                    s.pos,
+                    ParseErrorKind::UnexpectedToken(s.token.describe()),
+                ))
+            }
+            None => return Err(self.err_end()),
+        };
+        let mut atom = if negated { Atom::negative(name.as_str()) } else { Atom::new(name.as_str()) };
+        if matches!(self.peek().map(|s| &s.token), Some(Token::LBracket)) {
+            self.next();
+            atom.predicates = self.parse_predicates()?;
+        }
+        Ok(atom)
+    }
+
+    /// Parses `clause (',' clause)* ']'` — the opening `[` is consumed.
+    fn parse_predicates(&mut self) -> Result<Vec<Predicate>, ParsePatternError> {
+        let mut preds = Vec::new();
+        loop {
+            preds.push(self.parse_clause()?);
+            match self.next() {
+                Some(Spanned { token: Token::Comma, .. }) => continue,
+                Some(Spanned { token: Token::RBracket, .. }) => return Ok(preds),
+                Some(s) => {
+                    return Err(ParsePatternError::new(
+                        s.pos,
+                        ParseErrorKind::BadPredicate(format!(
+                            "expected ',' or ']', found {}",
+                            s.token.describe()
+                        )),
+                    ))
+                }
+                None => return Err(self.err_end()),
+            }
+        }
+    }
+
+    /// `('in.'|'out.')? ident cmp value`
+    fn parse_clause(&mut self) -> Result<Predicate, ParsePatternError> {
+        let (first_pos, first_name) = match self.next() {
+            Some(Spanned { token: Token::Ident(n), pos }) => (pos, n),
+            Some(s) => {
+                return Err(ParsePatternError::new(
+                    s.pos,
+                    ParseErrorKind::BadPredicate(format!(
+                        "expected attribute name, found {}",
+                        s.token.describe()
+                    )),
+                ))
+            }
+            None => return Err(self.err_end()),
+        };
+        let (scope, attr) = if matches!(self.peek().map(|s| &s.token), Some(Token::Dot)) {
+            self.next();
+            let scope = match first_name.as_str() {
+                "in" => Scope::Input,
+                "out" => Scope::Output,
+                other => {
+                    return Err(ParsePatternError::new(
+                        first_pos,
+                        ParseErrorKind::BadPredicate(format!(
+                            "unknown scope prefix {other:?} (expected 'in' or 'out')"
+                        )),
+                    ))
+                }
+            };
+            let attr = match self.next() {
+                Some(Spanned { token: Token::Ident(n), .. }) => n,
+                Some(s) => {
+                    return Err(ParsePatternError::new(
+                        s.pos,
+                        ParseErrorKind::BadPredicate(format!(
+                            "expected attribute name after '.', found {}",
+                            s.token.describe()
+                        )),
+                    ))
+                }
+                None => return Err(self.err_end()),
+            };
+            (scope, attr)
+        } else {
+            (Scope::Any, first_name)
+        };
+        let op = match self.next() {
+            Some(Spanned { token: Token::Cmp(op), .. }) => op,
+            Some(s) => {
+                return Err(ParsePatternError::new(
+                    s.pos,
+                    ParseErrorKind::BadPredicate(format!(
+                        "expected comparison operator, found {}",
+                        s.token.describe()
+                    )),
+                ))
+            }
+            None => return Err(self.err_end()),
+        };
+        let value = match self.next() {
+            Some(Spanned { token: Token::Int(i), .. }) => Value::Int(i),
+            Some(Spanned { token: Token::Float(x), .. }) => Value::Float(x),
+            Some(Spanned { token: Token::Str(s), .. }) => Value::from(s),
+            Some(Spanned { token: Token::Ident(w), .. }) => match w.as_str() {
+                "true" => Value::Bool(true),
+                "false" => Value::Bool(false),
+                other => Value::from(other),
+            },
+            Some(s) => {
+                return Err(ParsePatternError::new(
+                    s.pos,
+                    ParseErrorKind::BadPredicate(format!(
+                        "expected value, found {}",
+                        s.token.describe()
+                    )),
+                ))
+            }
+            None => return Err(self.err_end()),
+        };
+        Ok(Predicate { scope, attr: attr.into(), op, value })
+    }
+}
+
+/// Returns `true` if `src` parses as a pattern — a cheap syntax check.
+///
+/// ```
+/// assert!(wlq_pattern::is_valid_pattern("A -> B"));
+/// assert!(!wlq_pattern::is_valid_pattern("A -> "));
+/// ```
+#[must_use]
+pub fn is_valid_pattern(src: &str) -> bool {
+    Pattern::parse(src).is_ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{CmpOp, Op};
+
+    fn parse(s: &str) -> Pattern {
+        Pattern::parse(s).unwrap()
+    }
+
+    #[test]
+    fn atoms_and_negation() {
+        assert_eq!(parse("A"), Pattern::atom("A"));
+        assert_eq!(parse("!A"), Pattern::not_atom("A"));
+        assert_eq!(parse("¬A"), Pattern::not_atom("A"));
+        assert_eq!(parse("(A)"), Pattern::atom("A"));
+    }
+
+    #[test]
+    fn operators_are_left_associative() {
+        assert_eq!(parse("A -> B -> C"), parse("(A -> B) -> C"));
+        assert_eq!(parse("A | B | C"), parse("(A | B) | C"));
+        assert_eq!(parse("A & B & C"), parse("(A & B) & C"));
+        assert_eq!(parse("A ~> B ~> C"), parse("(A ~> B) ~> C"));
+    }
+
+    #[test]
+    fn precedence_sequential_over_parallel_over_choice() {
+        let p = parse("A -> B & C | D");
+        // Parses as ((A -> B) & C) | D.
+        assert_eq!(p.op(), Some(Op::Choice));
+        let Pattern::Binary { left, .. } = &p else { panic!() };
+        assert_eq!(left.op(), Some(Op::Parallel));
+        let Pattern::Binary { left: ll, .. } = left.as_ref() else { panic!() };
+        assert_eq!(ll.op(), Some(Op::Sequential));
+    }
+
+    #[test]
+    fn consecutive_and_sequential_share_precedence_left_assoc() {
+        // A ~> B -> C parses as (A ~> B) -> C.
+        let p = parse("A ~> B -> C");
+        assert_eq!(p.op(), Some(Op::Sequential));
+        let Pattern::Binary { left, .. } = &p else { panic!() };
+        assert_eq!(left.op(), Some(Op::Consecutive));
+    }
+
+    #[test]
+    fn parens_override_precedence() {
+        let p = parse("A -> (B | C)");
+        assert_eq!(p.op(), Some(Op::Sequential));
+        let Pattern::Binary { right, .. } = &p else { panic!() };
+        assert_eq!(right.op(), Some(Op::Choice));
+    }
+
+    #[test]
+    fn display_parse_round_trip() {
+        for src in [
+            "A",
+            "!A",
+            "A -> B",
+            "A ~> B -> C",
+            "A -> (B -> C)",
+            "(A | B) -> C & !D",
+            "A & (B | C) -> D",
+            "SeeDoctor -> (UpdateRefer -> GetReimburse)",
+        ] {
+            let p = parse(src);
+            let printed = p.to_string();
+            assert_eq!(parse(&printed), p, "round trip failed for {src} -> {printed}");
+        }
+    }
+
+    #[test]
+    fn unicode_and_ascii_agree() {
+        assert_eq!(parse("A ⊙ B → C ⊗ D ⊕ E"), parse("A ~> B -> C | D & E"));
+    }
+
+    #[test]
+    fn predicates_parse_with_scopes_and_values() {
+        let p = parse(r#"GetRefer[out.balance > 5000, in.state = "start", year = 2017, ok = true]"#);
+        let atom = p.as_atom().unwrap();
+        assert_eq!(atom.predicates.len(), 4);
+        assert_eq!(atom.predicates[0].scope, Scope::Output);
+        assert_eq!(atom.predicates[0].op, CmpOp::Gt);
+        assert_eq!(atom.predicates[0].value, Value::Int(5000));
+        assert_eq!(atom.predicates[1].scope, Scope::Input);
+        assert_eq!(atom.predicates[1].value, Value::from("start"));
+        assert_eq!(atom.predicates[2].scope, Scope::Any);
+        assert_eq!(atom.predicates[3].value, Value::Bool(true));
+    }
+
+    #[test]
+    fn predicate_display_round_trips() {
+        let src = r#"GetRefer[out.balance >= 5000] -> GetReimburse[amount < 2000]"#;
+        let p = parse(src);
+        assert_eq!(parse(&p.to_string()), p);
+    }
+
+    #[test]
+    fn error_empty_input() {
+        let err = Pattern::parse("").unwrap_err();
+        assert!(matches!(err.kind, ParseErrorKind::EmptyInput));
+        let err = Pattern::parse("   ").unwrap_err();
+        assert!(matches!(err.kind, ParseErrorKind::EmptyInput));
+    }
+
+    #[test]
+    fn error_trailing_operator() {
+        let err = Pattern::parse("A -> ").unwrap_err();
+        assert!(matches!(err.kind, ParseErrorKind::UnexpectedEnd));
+    }
+
+    #[test]
+    fn error_leading_operator() {
+        let err = Pattern::parse("-> A").unwrap_err();
+        assert!(matches!(err.kind, ParseErrorKind::UnexpectedToken(_)));
+    }
+
+    #[test]
+    fn error_missing_operator_between_operands() {
+        let err = Pattern::parse("A B").unwrap_err();
+        assert!(matches!(err.kind, ParseErrorKind::UnexpectedToken(_)));
+    }
+
+    #[test]
+    fn error_unbalanced_parens() {
+        assert!(matches!(
+            Pattern::parse("(A -> B").unwrap_err().kind,
+            ParseErrorKind::UnbalancedParen
+        ));
+        assert!(matches!(
+            Pattern::parse("A -> B)").unwrap_err().kind,
+            ParseErrorKind::UnbalancedParen
+        ));
+        assert!(matches!(
+            Pattern::parse("()").unwrap_err().kind,
+            ParseErrorKind::UnexpectedToken(_)
+        ));
+    }
+
+    #[test]
+    fn error_bad_predicate_forms() {
+        assert!(Pattern::parse("A[]").is_err());
+        assert!(Pattern::parse("A[x]").is_err());
+        assert!(Pattern::parse("A[x >]").is_err());
+        assert!(Pattern::parse("A[x > 1").is_err());
+        assert!(Pattern::parse("A[foo.x > 1]").is_err());
+        assert!(Pattern::parse("A[x > 1; y < 2]").is_err());
+    }
+
+    #[test]
+    fn is_valid_pattern_helper() {
+        assert!(is_valid_pattern("A -> B | C"));
+        assert!(!is_valid_pattern("| A"));
+    }
+
+    #[test]
+    fn double_negation_is_a_syntax_error() {
+        assert!(Pattern::parse("!!A").is_err());
+    }
+}

@@ -1,0 +1,198 @@
+//! Whole-tree rewriting built on the laws of [`crate::algebra`].
+
+use crate::algebra::{flatten_chain, Chain};
+use crate::ast::{Op, Pattern};
+
+/// Reshapes every reassociable chain in `p` to be left-deep.
+///
+/// Left-deep is the shape the paper's Algorithm 1 analysis assumes (the
+/// worst-case pattern of Theorem 1 is described as "a left-deep incident
+/// tree").
+#[must_use]
+pub fn left_deep(p: &Pattern) -> Pattern {
+    reshape(p, false)
+}
+
+/// Reshapes every reassociable chain in `p` to be right-deep.
+#[must_use]
+pub fn right_deep(p: &Pattern) -> Pattern {
+    reshape(p, true)
+}
+
+fn reshape(p: &Pattern, right: bool) -> Pattern {
+    match p {
+        Pattern::Atom(_) => p.clone(),
+        Pattern::Binary { .. } => {
+            let chain = flatten_chain(p);
+            let first = reshape(&chain.first, right);
+            let rest = chain
+                .rest
+                .iter()
+                .map(|(op, q)| (*op, reshape(q, right)))
+                .collect();
+            let chain = Chain { first, rest };
+            if right {
+                chain.right_deep()
+            } else {
+                chain.left_deep()
+            }
+        }
+    }
+}
+
+/// Expands all choices to the top (repeated Theorem 5 distribution),
+/// returning the *choice normal form*: a list of choice-free patterns
+/// whose pointwise union of incident sets equals `incL(p)`.
+///
+/// The expansion is exponential in the number of choice operators; callers
+/// should bound pattern size. Used by the optimizer to compare factored
+/// vs distributed plans, and by tests as an independent evaluation oracle.
+///
+/// ```
+/// use wlq_pattern::{choice_normal_form, Pattern};
+/// let p: Pattern = "A -> (B | C)".parse().unwrap();
+/// let alts = choice_normal_form(&p);
+/// let strs: Vec<String> = alts.iter().map(ToString::to_string).collect();
+/// assert_eq!(strs, ["A -> B", "A -> C"]);
+/// ```
+#[must_use]
+pub fn choice_normal_form(p: &Pattern) -> Vec<Pattern> {
+    match p {
+        Pattern::Atom(_) => vec![p.clone()],
+        Pattern::Binary { op: Op::Choice, left, right } => {
+            let mut out = choice_normal_form(left);
+            out.extend(choice_normal_form(right));
+            out
+        }
+        Pattern::Binary { op, left, right } => {
+            let ls = choice_normal_form(left);
+            let rs = choice_normal_form(right);
+            let mut out = Vec::with_capacity(ls.len() * rs.len());
+            for l in &ls {
+                for r in &rs {
+                    out.push(Pattern::binary(*op, l.clone(), r.clone()));
+                }
+            }
+            out
+        }
+    }
+}
+
+/// Rebuilds a pattern from its choice normal form (left-deep choice of the
+/// alternatives). Returns `None` for an empty list.
+#[must_use]
+pub fn from_alternatives(alts: &[Pattern]) -> Option<Pattern> {
+    let mut iter = alts.iter().cloned();
+    let mut acc = iter.next()?;
+    for q in iter {
+        acc = Pattern::binary(Op::Choice, acc, q);
+    }
+    Some(acc)
+}
+
+/// Applies [`crate::algebra::factor_left`]/`factor_right` bottom-up to a
+/// fixpoint, merging distributed choices back into factored form where the
+/// laws allow. This is the optimizer's "factor common work" pass.
+#[must_use]
+pub fn factor(p: &Pattern) -> Pattern {
+    use crate::algebra::{factor_left, factor_right};
+    let folded = match p {
+        Pattern::Atom(_) => p.clone(),
+        Pattern::Binary { op, left, right } => {
+            Pattern::binary(*op, factor(left), factor(right))
+        }
+    };
+    if let Some(q) = factor_left(&folded) {
+        return factor(&q);
+    }
+    if let Some(q) = factor_right(&folded) {
+        return factor(&q);
+    }
+    folded
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> Pattern {
+        Pattern::parse(s).unwrap()
+    }
+
+    #[test]
+    fn left_and_right_deep_are_mutual_fixpoints() {
+        let p = parse("A -> (B -> (C -> D))");
+        let ld = left_deep(&p);
+        assert_eq!(ld, parse("((A -> B) -> C) -> D"));
+        let rd = right_deep(&ld);
+        assert_eq!(rd, p);
+        assert_eq!(left_deep(&rd), ld);
+    }
+
+    #[test]
+    fn reshaping_preserves_mixed_family_operator_order() {
+        let p = parse("A ~> (B -> (C ~> D))");
+        let ld = left_deep(&p);
+        assert_eq!(ld, parse("((A ~> B) -> C) ~> D"));
+    }
+
+    #[test]
+    fn reshaping_recurses_below_foreign_operators() {
+        let p = parse("(A -> (B -> C)) | (D & (E & F))");
+        let ld = left_deep(&p);
+        assert_eq!(ld, parse("((A -> B) -> C) | ((D & E) & F)"));
+    }
+
+    #[test]
+    fn cnf_of_choice_free_pattern_is_singleton() {
+        let p = parse("A -> B & C");
+        assert_eq!(choice_normal_form(&p), vec![p]);
+    }
+
+    #[test]
+    fn cnf_distributes_nested_choices() {
+        let p = parse("(A | B) -> (C | D)");
+        let alts: Vec<String> =
+            choice_normal_form(&p).iter().map(ToString::to_string).collect();
+        assert_eq!(alts, ["A -> C", "A -> D", "B -> C", "B -> D"]);
+    }
+
+    #[test]
+    fn cnf_handles_choice_under_parallel() {
+        let p = parse("A & (B | C)");
+        let alts: Vec<String> =
+            choice_normal_form(&p).iter().map(ToString::to_string).collect();
+        assert_eq!(alts, ["A & B", "A & C"]);
+    }
+
+    #[test]
+    fn from_alternatives_round_trips_cnf_count() {
+        let p = parse("(A | B) ~> (C | D | E)");
+        let alts = choice_normal_form(&p);
+        assert_eq!(alts.len(), 6);
+        let rebuilt = from_alternatives(&alts).unwrap();
+        assert_eq!(choice_normal_form(&rebuilt), alts);
+        assert!(from_alternatives(&[]).is_none());
+    }
+
+    #[test]
+    fn factor_merges_distributed_choices() {
+        let p = parse("(A -> B) | (A -> C)");
+        assert_eq!(factor(&p), parse("A -> (B | C)"));
+        let p = parse("(A -> C) | (B -> C)");
+        assert_eq!(factor(&p), parse("(A | B) -> C"));
+    }
+
+    #[test]
+    fn factor_recurses_and_cascades() {
+        // ((A->B)|(A->C)) | nothing-to-factor elsewhere.
+        let p = parse("X & ((A -> B) | (A -> C))");
+        assert_eq!(factor(&p), parse("X & (A -> (B | C))"));
+    }
+
+    #[test]
+    fn factor_leaves_unfactorable_patterns_alone() {
+        let p = parse("(A -> B) | (X -> C)");
+        assert_eq!(factor(&p), p);
+    }
+}

@@ -1,0 +1,167 @@
+//! Postfix (Reverse Polish) form of patterns and the conversions the
+//! paper's Algorithm 3 relies on.
+//!
+//! The paper builds its incident tree by first converting the infix
+//! pattern to postfix with Dijkstra's shunting-yard algorithm and then
+//! folding the postfix sequence with a stack. [`to_postfix`] /
+//! [`from_postfix`] are those two halves; the parser
+//! ([`crate::Pattern::parse`]) runs shunting-yard directly over tokens.
+
+use std::fmt;
+
+use crate::ast::{Atom, Op, Pattern};
+
+/// One item of a postfix-encoded pattern.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PostfixItem {
+    /// An operand: an atomic pattern.
+    Atom(Atom),
+    /// One of the four operators, applying to the two operands below it.
+    Op(Op),
+}
+
+impl fmt::Display for PostfixItem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PostfixItem::Atom(a) => write!(f, "{a}"),
+            PostfixItem::Op(op) => write!(f, "{}", op.ascii()),
+        }
+    }
+}
+
+/// Errors when folding a postfix sequence into a pattern.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PostfixError {
+    /// The sequence was empty.
+    Empty,
+    /// An operator had fewer than two operands available.
+    MissingOperand,
+    /// More than one operand remained after folding.
+    ExtraOperands,
+}
+
+impl fmt::Display for PostfixError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PostfixError::Empty => write!(f, "empty postfix sequence"),
+            PostfixError::MissingOperand => write!(f, "operator is missing an operand"),
+            PostfixError::ExtraOperands => write!(f, "leftover operands after folding"),
+        }
+    }
+}
+
+impl std::error::Error for PostfixError {}
+
+/// Flattens a pattern to postfix (post-order traversal).
+///
+/// ```
+/// use wlq_pattern::{to_postfix, Pattern};
+/// let p: Pattern = "A -> (B | C)".parse().unwrap();
+/// let rpn: Vec<String> = to_postfix(&p).iter().map(ToString::to_string).collect();
+/// assert_eq!(rpn, ["A", "B", "C", "|", "->"]);
+/// ```
+#[must_use]
+pub fn to_postfix(p: &Pattern) -> Vec<PostfixItem> {
+    fn walk(p: &Pattern, out: &mut Vec<PostfixItem>) {
+        match p {
+            Pattern::Atom(a) => out.push(PostfixItem::Atom(a.clone())),
+            Pattern::Binary { op, left, right } => {
+                walk(left, out);
+                walk(right, out);
+                out.push(PostfixItem::Op(*op));
+            }
+        }
+    }
+    let mut out = Vec::with_capacity(2 * p.num_atoms());
+    walk(p, &mut out);
+    out
+}
+
+/// Folds a postfix sequence back into a pattern with a stack — the
+/// incident-tree construction of the paper's Algorithm 3.
+///
+/// # Errors
+///
+/// Returns a [`PostfixError`] if the sequence is empty or ill-formed.
+pub fn from_postfix(items: impl IntoIterator<Item = PostfixItem>) -> Result<Pattern, PostfixError> {
+    let mut stack: Vec<Pattern> = Vec::new();
+    for item in items {
+        match item {
+            PostfixItem::Atom(a) => stack.push(Pattern::Atom(a)),
+            PostfixItem::Op(op) => {
+                let right = stack.pop().ok_or(PostfixError::MissingOperand)?;
+                let left = stack.pop().ok_or(PostfixError::MissingOperand)?;
+                stack.push(Pattern::binary(op, left, right));
+            }
+        }
+    }
+    match stack.len() {
+        0 => Err(PostfixError::Empty),
+        1 => Ok(stack.pop().expect("len checked")),
+        _ => Err(PostfixError::ExtraOperands),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn a(name: &str) -> Atom {
+        Atom::new(name)
+    }
+
+    #[test]
+    fn round_trip_simple() {
+        let p = Pattern::atom("A").seq(Pattern::atom("B"));
+        let back = from_postfix(to_postfix(&p)).unwrap();
+        assert_eq!(back, p);
+    }
+
+    #[test]
+    fn round_trip_deep_and_mixed() {
+        let p = Pattern::atom("A")
+            .cons(Pattern::atom("B"))
+            .seq(Pattern::atom("C").alt(Pattern::not_atom("D").par(Pattern::atom("E"))));
+        let back = from_postfix(to_postfix(&p)).unwrap();
+        assert_eq!(back, p);
+    }
+
+    #[test]
+    fn postfix_order_is_post_order() {
+        // (A | B) -> C  ⇒  A B | C ->
+        let p = Pattern::atom("A").alt(Pattern::atom("B")).seq(Pattern::atom("C"));
+        let rpn: Vec<String> = to_postfix(&p).iter().map(ToString::to_string).collect();
+        assert_eq!(rpn, ["A", "B", "|", "C", "->"]);
+    }
+
+    #[test]
+    fn empty_sequence_is_rejected() {
+        assert_eq!(from_postfix(vec![]), Err(PostfixError::Empty));
+    }
+
+    #[test]
+    fn missing_operand_is_rejected() {
+        let items = vec![PostfixItem::Atom(a("A")), PostfixItem::Op(Op::Choice)];
+        assert_eq!(from_postfix(items), Err(PostfixError::MissingOperand));
+    }
+
+    #[test]
+    fn extra_operands_are_rejected() {
+        let items = vec![PostfixItem::Atom(a("A")), PostfixItem::Atom(a("B"))];
+        assert_eq!(from_postfix(items), Err(PostfixError::ExtraOperands));
+    }
+
+    #[test]
+    fn operator_fold_is_left_to_right() {
+        // A B -> C ->  ⇒  (A -> B) -> C
+        let items = vec![
+            PostfixItem::Atom(a("A")),
+            PostfixItem::Atom(a("B")),
+            PostfixItem::Op(Op::Sequential),
+            PostfixItem::Atom(a("C")),
+            PostfixItem::Op(Op::Sequential),
+        ];
+        let p = from_postfix(items).unwrap();
+        assert_eq!(p.to_string(), "A -> B -> C");
+    }
+}

@@ -1,0 +1,362 @@
+//! Lexer for the pattern text syntax.
+//!
+//! Operators: `~>` (consecutive), `->` (sequential), `|` (choice),
+//! `&` (parallel), with the paper's glyphs `⊙ → ⊗ ⊕` accepted as
+//! synonyms. `!`/`¬` negate an atom. `[...]` encloses attribute
+//! predicates (extension), e.g. `GetRefer[out.balance > 5000]`.
+
+use crate::ast::{CmpOp, Op};
+use crate::error::{ParseErrorKind, ParsePatternError};
+
+/// A lexical token of the pattern syntax.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// An identifier (activity name, attribute name, or scope prefix).
+    Ident(String),
+    /// `!` or `¬`.
+    Not,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// One of the four pattern operators.
+    Op(Op),
+    /// A comparison operator inside predicates.
+    Cmp(CmpOp),
+    /// An integer literal.
+    Int(i64),
+    /// A float literal.
+    Float(f64),
+    /// A double-quoted string literal (already unescaped).
+    Str(String),
+}
+
+impl Token {
+    /// A short description used in error messages.
+    #[must_use]
+    pub fn describe(&self) -> String {
+        match self {
+            Token::Ident(s) => format!("identifier {s:?}"),
+            Token::Not => "'!'".to_string(),
+            Token::LParen => "'('".to_string(),
+            Token::RParen => "')'".to_string(),
+            Token::LBracket => "'['".to_string(),
+            Token::RBracket => "']'".to_string(),
+            Token::Comma => "','".to_string(),
+            Token::Dot => "'.'".to_string(),
+            Token::Op(op) => format!("operator '{}'", op.ascii()),
+            Token::Cmp(c) => format!("comparison '{c}'"),
+            Token::Int(i) => format!("integer {i}"),
+            Token::Float(x) => format!("number {x}"),
+            Token::Str(s) => format!("string {s:?}"),
+        }
+    }
+}
+
+/// A token plus the byte offset where it starts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Spanned {
+    /// The token.
+    pub token: Token,
+    /// Byte offset in the source.
+    pub pos: usize,
+}
+
+/// Tokenizes pattern text.
+///
+/// # Errors
+///
+/// Returns [`ParsePatternError`] for characters that start no token and
+/// unterminated string literals.
+pub fn tokenize(src: &str) -> Result<Vec<Spanned>, ParsePatternError> {
+    let mut out = Vec::new();
+    let bytes: Vec<(usize, char)> = src.char_indices().collect();
+    let mut i = 0;
+    while i < bytes.len() {
+        let (pos, c) = bytes[i];
+        let tok = match c {
+            c if c.is_whitespace() => {
+                i += 1;
+                continue;
+            }
+            '(' => some(Token::LParen, &mut i),
+            ')' => some(Token::RParen, &mut i),
+            '[' => some(Token::LBracket, &mut i),
+            ']' => some(Token::RBracket, &mut i),
+            ',' => some(Token::Comma, &mut i),
+            '.' => some(Token::Dot, &mut i),
+            '|' => some(Token::Op(Op::Choice), &mut i),
+            '&' => some(Token::Op(Op::Parallel), &mut i),
+            '⊗' => some(Token::Op(Op::Choice), &mut i),
+            '⊕' => some(Token::Op(Op::Parallel), &mut i),
+            '⊙' => some(Token::Op(Op::Consecutive), &mut i),
+            '→' => some(Token::Op(Op::Sequential), &mut i),
+            '¬' => some(Token::Not, &mut i),
+            '~' => {
+                if next_is(&bytes, i, '>') {
+                    i += 2;
+                    Token::Op(Op::Consecutive)
+                } else {
+                    return Err(ParsePatternError::new(pos, ParseErrorKind::UnexpectedChar('~')));
+                }
+            }
+            '-' => {
+                if next_is(&bytes, i, '>') {
+                    i += 2;
+                    Token::Op(Op::Sequential)
+                } else if i + 1 < bytes.len() && bytes[i + 1].1.is_ascii_digit() {
+                    lex_number(&bytes, &mut i)?
+                } else {
+                    return Err(ParsePatternError::new(pos, ParseErrorKind::UnexpectedChar('-')));
+                }
+            }
+            '!' => {
+                if next_is(&bytes, i, '=') {
+                    i += 2;
+                    Token::Cmp(CmpOp::Ne)
+                } else {
+                    i += 1;
+                    Token::Not
+                }
+            }
+            '=' => some(Token::Cmp(CmpOp::Eq), &mut i),
+            '<' => {
+                if next_is(&bytes, i, '=') {
+                    i += 2;
+                    Token::Cmp(CmpOp::Le)
+                } else {
+                    i += 1;
+                    Token::Cmp(CmpOp::Lt)
+                }
+            }
+            '>' => {
+                if next_is(&bytes, i, '=') {
+                    i += 2;
+                    Token::Cmp(CmpOp::Ge)
+                } else {
+                    i += 1;
+                    Token::Cmp(CmpOp::Gt)
+                }
+            }
+            '"' => lex_string(&bytes, &mut i, pos)?,
+            c if c.is_ascii_digit() => lex_number(&bytes, &mut i)?,
+            c if is_ident_start(c) => lex_ident(&bytes, &mut i),
+            other => {
+                return Err(ParsePatternError::new(pos, ParseErrorKind::UnexpectedChar(other)))
+            }
+        };
+        out.push(Spanned { token: tok, pos });
+    }
+    Ok(out)
+}
+
+fn some(tok: Token, i: &mut usize) -> Token {
+    *i += 1;
+    tok
+}
+
+fn next_is(bytes: &[(usize, char)], i: usize, c: char) -> bool {
+    bytes.get(i + 1).is_some_and(|&(_, next)| next == c)
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+fn lex_ident(bytes: &[(usize, char)], i: &mut usize) -> Token {
+    let mut s = String::new();
+    while *i < bytes.len() && is_ident_continue(bytes[*i].1) {
+        s.push(bytes[*i].1);
+        *i += 1;
+    }
+    Token::Ident(s)
+}
+
+fn lex_number(bytes: &[(usize, char)], i: &mut usize) -> Result<Token, ParsePatternError> {
+    let start = bytes[*i].0;
+    let mut s = String::new();
+    if bytes[*i].1 == '-' {
+        s.push('-');
+        *i += 1;
+    }
+    let mut is_float = false;
+    while *i < bytes.len() {
+        let c = bytes[*i].1;
+        if c.is_ascii_digit() {
+            s.push(c);
+            *i += 1;
+        } else if c == '.' && !is_float && bytes.get(*i + 1).is_some_and(|&(_, d)| d.is_ascii_digit())
+        {
+            is_float = true;
+            s.push(c);
+            *i += 1;
+        } else {
+            break;
+        }
+    }
+    if is_float {
+        s.parse::<f64>()
+            .map(Token::Float)
+            .map_err(|_| ParsePatternError::new(start, ParseErrorKind::UnexpectedChar('.')))
+    } else {
+        s.parse::<i64>()
+            .map(Token::Int)
+            .map_err(|_| ParsePatternError::new(start, ParseErrorKind::UnexpectedToken(s)))
+    }
+}
+
+fn lex_string(
+    bytes: &[(usize, char)],
+    i: &mut usize,
+    start: usize,
+) -> Result<Token, ParsePatternError> {
+    *i += 1; // opening quote
+    let mut s = String::new();
+    while *i < bytes.len() {
+        let c = bytes[*i].1;
+        *i += 1;
+        match c {
+            '"' => return Ok(Token::Str(s)),
+            '\\' => {
+                if *i < bytes.len() {
+                    let esc = bytes[*i].1;
+                    *i += 1;
+                    s.push(match esc {
+                        'n' => '\n',
+                        't' => '\t',
+                        other => other,
+                    });
+                } else {
+                    break;
+                }
+            }
+            other => s.push(other),
+        }
+    }
+    Err(ParsePatternError::new(start, ParseErrorKind::UnterminatedString))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Token> {
+        tokenize(src).unwrap().into_iter().map(|s| s.token).collect()
+    }
+
+    #[test]
+    fn lexes_all_ascii_operators() {
+        assert_eq!(
+            toks("A ~> B -> C | D & E"),
+            vec![
+                Token::Ident("A".into()),
+                Token::Op(Op::Consecutive),
+                Token::Ident("B".into()),
+                Token::Op(Op::Sequential),
+                Token::Ident("C".into()),
+                Token::Op(Op::Choice),
+                Token::Ident("D".into()),
+                Token::Op(Op::Parallel),
+                Token::Ident("E".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_unicode_operator_synonyms() {
+        assert_eq!(
+            toks("A ⊙ B → C ⊗ D ⊕ E"),
+            toks("A ~> B -> C | D & E")
+        );
+        assert_eq!(toks("¬A"), toks("!A"));
+    }
+
+    #[test]
+    fn lexes_predicates() {
+        assert_eq!(
+            toks(r#"GetRefer[out.balance >= 5000, state = "active"]"#),
+            vec![
+                Token::Ident("GetRefer".into()),
+                Token::LBracket,
+                Token::Ident("out".into()),
+                Token::Dot,
+                Token::Ident("balance".into()),
+                Token::Cmp(CmpOp::Ge),
+                Token::Int(5000),
+                Token::Comma,
+                Token::Ident("state".into()),
+                Token::Cmp(CmpOp::Eq),
+                Token::Str("active".into()),
+                Token::RBracket,
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_numbers_including_negative_and_float() {
+        assert_eq!(toks("[x = -42]"), vec![
+            Token::LBracket,
+            Token::Ident("x".into()),
+            Token::Cmp(CmpOp::Eq),
+            Token::Int(-42),
+            Token::RBracket,
+        ]);
+        assert_eq!(toks("[x < 1.5]")[3], Token::Float(1.5));
+    }
+
+    #[test]
+    fn not_equal_vs_negation() {
+        assert_eq!(toks("!A")[0], Token::Not);
+        assert_eq!(toks("[a != 1]")[2], Token::Cmp(CmpOp::Ne));
+    }
+
+    #[test]
+    fn string_escapes() {
+        assert_eq!(
+            toks(r#"[a = "he said \"hi\"\n"]"#)[3],
+            Token::Str("he said \"hi\"\n".into())
+        );
+    }
+
+    #[test]
+    fn positions_are_byte_offsets() {
+        let spanned = tokenize("A -> B").unwrap();
+        assert_eq!(spanned[0].pos, 0);
+        assert_eq!(spanned[1].pos, 2);
+        assert_eq!(spanned[2].pos, 5);
+    }
+
+    #[test]
+    fn bad_characters_are_rejected_with_position() {
+        let err = tokenize("A % B").unwrap_err();
+        assert_eq!(err.position, 2);
+        assert!(matches!(err.kind, ParseErrorKind::UnexpectedChar('%')));
+        assert!(tokenize("A ~ B").is_err());
+        assert!(tokenize("A - B").is_err());
+    }
+
+    #[test]
+    fn unterminated_string_is_rejected() {
+        let err = tokenize(r#"[a = "oops]"#).unwrap_err();
+        assert!(matches!(err.kind, ParseErrorKind::UnterminatedString));
+    }
+
+    #[test]
+    fn describe_is_nonempty_for_all_tokens() {
+        for t in toks(r#"!A(B)[x.y = 1, z != 2.5] | "s""#) {
+            assert!(!t.describe().is_empty());
+        }
+    }
+}

@@ -1,0 +1,194 @@
+//! Fluent construction of [`WorkflowModel`]s.
+
+use wlq_log::Activity;
+
+use crate::data::DataEffect;
+use crate::model::{ModelError, NodeDef, NodeId, WorkflowModel};
+
+/// Builds a [`WorkflowModel`] node by node.
+///
+/// Nodes may reference nodes created later via [`placeholder`]
+/// (`ModelBuilder::placeholder`) + [`fill`](ModelBuilder::fill), which is
+/// how loops are expressed.
+///
+/// # Examples
+///
+/// A two-task sequence:
+///
+/// ```
+/// use wlq_workflow::ModelBuilder;
+///
+/// let mut b = ModelBuilder::new("hello");
+/// let end = b.end();
+/// let second = b.task("B", end);
+/// let first = b.task("A", second);
+/// let model = b.build(first)?;
+/// assert_eq!(model.activities().len(), 2);
+/// # Ok::<(), wlq_workflow::ModelError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct ModelBuilder {
+    name: String,
+    nodes: Vec<Option<NodeDef>>,
+}
+
+impl ModelBuilder {
+    /// Starts a builder for a model called `name`.
+    #[must_use]
+    pub fn new(name: impl Into<String>) -> Self {
+        ModelBuilder { name: name.into(), nodes: Vec::new() }
+    }
+
+    fn push(&mut self, node: NodeDef) -> NodeId {
+        self.nodes.push(Some(node));
+        NodeId(self.nodes.len() - 1)
+    }
+
+    /// Reserves a node id to be defined later with [`fill`](Self::fill) —
+    /// needed for cycles (loops back to an earlier point of the process).
+    pub fn placeholder(&mut self) -> NodeId {
+        self.nodes.push(None);
+        NodeId(self.nodes.len() - 1)
+    }
+
+    /// Defines a previously reserved placeholder.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not created by [`placeholder`](Self::placeholder)
+    /// or is already defined.
+    pub fn fill(&mut self, id: NodeId, node: NodeDef) {
+        let slot = &mut self.nodes[id.0];
+        assert!(slot.is_none(), "node {id} is already defined");
+        *slot = Some(node);
+    }
+
+    /// Adds an `End` node.
+    pub fn end(&mut self) -> NodeId {
+        self.push(NodeDef::End)
+    }
+
+    /// Adds a task with no data effects.
+    pub fn task(&mut self, activity: impl Into<Activity>, next: NodeId) -> NodeId {
+        self.task_io(activity, [] as [&str; 0], [], next)
+    }
+
+    /// Adds a task with reads and writes.
+    pub fn task_io<R, W>(
+        &mut self,
+        activity: impl Into<Activity>,
+        reads: R,
+        writes: W,
+        next: NodeId,
+    ) -> NodeId
+    where
+        R: IntoIterator,
+        R::Item: Into<String>,
+        W: IntoIterator<Item = (&'static str, DataEffect)>,
+    {
+        self.push(NodeDef::Task {
+            activity: activity.into(),
+            reads: reads.into_iter().map(Into::into).collect(),
+            writes: writes.into_iter().map(|(n, e)| (n.to_string(), e)).collect(),
+            next,
+        })
+    }
+
+    /// Adds an XOR gateway with weighted branches.
+    pub fn xor(&mut self, branches: impl IntoIterator<Item = (f64, NodeId)>) -> NodeId {
+        self.push(NodeDef::Xor { branches: branches.into_iter().collect() })
+    }
+
+    /// Adds an AND split whose branches meet at `join` (an
+    /// [`and_join`](Self::and_join) node).
+    pub fn and_split(
+        &mut self,
+        branches: impl IntoIterator<Item = NodeId>,
+        join: NodeId,
+    ) -> NodeId {
+        self.push(NodeDef::AndSplit { branches: branches.into_iter().collect(), join })
+    }
+
+    /// Adds an AND join barrier continuing at `next`.
+    pub fn and_join(&mut self, next: NodeId) -> NodeId {
+        self.push(NodeDef::AndJoin { next })
+    }
+
+    /// Finalises the model with `entry` as the first node of every
+    /// instance.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError`] if a placeholder is unfilled or the graph is
+    /// structurally invalid.
+    pub fn build(self, entry: NodeId) -> Result<WorkflowModel, ModelError> {
+        let mut nodes = Vec::with_capacity(self.nodes.len());
+        for (i, slot) in self.nodes.into_iter().enumerate() {
+            match slot {
+                Some(node) => nodes.push(node),
+                None => return Err(ModelError::DanglingEdge { from: i, to: i }),
+            }
+        }
+        WorkflowModel::new(self.name, nodes, entry)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_a_loop_via_placeholder() {
+        let mut b = ModelBuilder::new("loop");
+        let end = b.end();
+        let head = b.placeholder();
+        let body = b.task("Work", head);
+        b.fill(head, NodeDef::Xor { branches: vec![(0.7, body), (0.3, end)] });
+        let model = b.build(head).unwrap();
+        assert_eq!(model.activities().len(), 1);
+    }
+
+    #[test]
+    fn unfilled_placeholder_fails_build() {
+        let mut b = ModelBuilder::new("broken");
+        let hole = b.placeholder();
+        let entry = b.task("A", hole);
+        assert!(b.build(entry).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "already defined")]
+    fn double_fill_panics() {
+        let mut b = ModelBuilder::new("x");
+        let end = b.end();
+        b.fill(end, NodeDef::End);
+    }
+
+    #[test]
+    fn task_io_records_reads_and_writes() {
+        let mut b = ModelBuilder::new("io");
+        let end = b.end();
+        let t = b.task_io(
+            "Pay",
+            ["balance"],
+            [("receipt", DataEffect::UniformInt { lo: 1, hi: 9 })],
+            end,
+        );
+        let model = b.build(t).unwrap();
+        let NodeDef::Task { reads, writes, .. } = model.node(t) else { panic!() };
+        assert_eq!(reads, &["balance"]);
+        assert_eq!(writes.len(), 1);
+    }
+
+    #[test]
+    fn parallel_block_builds() {
+        let mut b = ModelBuilder::new("par");
+        let end = b.end();
+        let join = b.and_join(end);
+        let left = b.task("Ship", join);
+        let right = b.task("Invoice", join);
+        let split = b.and_split([left, right], join);
+        let model = b.build(split).unwrap();
+        assert_eq!(model.activities().len(), 2);
+    }
+}

@@ -1,0 +1,368 @@
+//! Conformance checking: does a log's instance fit a workflow model?
+//!
+//! The paper motivates log querying with anomaly hunting; conformance
+//! checking is the complementary substrate feature — replay each logged
+//! instance against the model's token game and report instances whose
+//! activity sequence the model cannot produce. The replay explores
+//! gateway nondeterminism (XOR branch choice, token interleaving inside
+//! AND blocks) by memoized depth-first search.
+
+use std::collections::{BTreeMap, HashSet};
+
+use wlq_log::{Activity, Log, Wid};
+
+use crate::model::{NodeDef, NodeId, WorkflowModel};
+
+/// A snapshot of the token game: active token positions plus AND-join
+/// bookkeeping. Canonicalised (sorted) so it can key the memo table.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+struct State {
+    /// Sorted node indexes of active tokens.
+    tokens: Vec<usize>,
+    /// Sorted `(join node, expected, arrived)` triples.
+    joins: Vec<(usize, usize, usize)>,
+}
+
+impl State {
+    fn initial(entry: NodeId) -> State {
+        State { tokens: vec![entry.0], joins: Vec::new() }
+    }
+
+    fn canonical(mut self) -> State {
+        self.tokens.sort_unstable();
+        self.joins.sort_unstable();
+        self
+    }
+
+    fn remove_token(&self, idx: usize) -> State {
+        let mut s = self.clone();
+        s.tokens.remove(idx);
+        s
+    }
+
+    fn move_token(&self, idx: usize, to: NodeId) -> State {
+        let mut s = self.clone();
+        s.tokens[idx] = to.0;
+        s.canonical()
+    }
+}
+
+/// The verdict for one workflow instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// The instance's full trace (including its `END`) is a run of the
+    /// model.
+    Complete,
+    /// The instance is not finished, but its trace so far is a prefix of
+    /// some run of the model.
+    ValidPrefix,
+    /// No run of the model produces this trace.
+    Violating,
+}
+
+/// The result of replaying a whole log against a model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConformanceReport {
+    /// Verdict per instance.
+    pub verdicts: BTreeMap<Wid, Verdict>,
+}
+
+impl ConformanceReport {
+    /// Instances whose trace the model cannot produce.
+    #[must_use]
+    pub fn violations(&self) -> Vec<Wid> {
+        self.verdicts
+            .iter()
+            .filter(|(_, v)| **v == Verdict::Violating)
+            .map(|(w, _)| *w)
+            .collect()
+    }
+
+    /// Returns `true` when no instance violates the model.
+    #[must_use]
+    pub fn is_conforming(&self) -> bool {
+        self.verdicts.values().all(|v| *v != Verdict::Violating)
+    }
+}
+
+impl WorkflowModel {
+    /// Whether the model can produce exactly the given task sequence and
+    /// terminate (all tokens consumed by `End` nodes).
+    ///
+    /// `trace` contains only task activities — no `START`/`END` markers.
+    #[must_use]
+    pub fn accepts(&self, trace: &[Activity]) -> bool {
+        let mut memo = HashSet::new();
+        self.search(State::initial(self.entry()), trace, 0, true, &mut memo)
+    }
+
+    /// Whether the given task sequence is a prefix of some run.
+    #[must_use]
+    pub fn accepts_prefix(&self, trace: &[Activity]) -> bool {
+        let mut memo = HashSet::new();
+        self.search(State::initial(self.entry()), trace, 0, false, &mut memo)
+    }
+
+    /// Replays every instance of `log` and reports a [`Verdict`] each:
+    /// completed instances (with `END`) must be full runs; open instances
+    /// must be prefixes of runs.
+    #[must_use]
+    pub fn check_log(&self, log: &Log) -> ConformanceReport {
+        let mut verdicts = BTreeMap::new();
+        for wid in log.wids() {
+            let trace: Vec<Activity> = log
+                .instance(wid)
+                .filter(|r| !r.is_start() && !r.is_end())
+                .map(|r| r.activity().clone())
+                .collect();
+            let verdict = if log.is_completed(wid) {
+                if self.accepts(&trace) {
+                    Verdict::Complete
+                } else {
+                    Verdict::Violating
+                }
+            } else if self.accepts_prefix(&trace) {
+                Verdict::ValidPrefix
+            } else {
+                Verdict::Violating
+            };
+            verdicts.insert(wid, verdict);
+        }
+        ConformanceReport { verdicts }
+    }
+
+    /// Memoized DFS over (token state, trace position).
+    fn search(
+        &self,
+        state: State,
+        trace: &[Activity],
+        pos: usize,
+        need_completion: bool,
+        memo: &mut HashSet<(State, usize)>,
+    ) -> bool {
+        if pos == trace.len() {
+            if !need_completion {
+                return true;
+            }
+            if state.tokens.is_empty() {
+                return true;
+            }
+        }
+        if !memo.insert((state.clone(), pos)) {
+            return false; // already explored (or in progress on a cycle)
+        }
+        for idx in 0..state.tokens.len() {
+            // Skip duplicate token positions: advancing either is the same.
+            if idx > 0 && state.tokens[idx] == state.tokens[idx - 1] {
+                continue;
+            }
+            let node = NodeId(state.tokens[idx]);
+            match self.node(node) {
+                NodeDef::Task { activity, next, .. } => {
+                    if pos < trace.len() && &trace[pos] == activity {
+                        let next_state = state.move_token(idx, *next);
+                        if self.search(next_state, trace, pos + 1, need_completion, memo) {
+                            return true;
+                        }
+                    }
+                }
+                NodeDef::Xor { branches } => {
+                    for &(_, target) in branches {
+                        let next_state = state.move_token(idx, target);
+                        if self.search(next_state, trace, pos, need_completion, memo) {
+                            return true;
+                        }
+                    }
+                }
+                NodeDef::AndSplit { branches, join } => {
+                    let mut s = state.remove_token(idx);
+                    s.tokens.extend(branches.iter().map(|b| b.0));
+                    bump_join(&mut s.joins, join.0, branches.len(), 0);
+                    if self.search(s.canonical(), trace, pos, need_completion, memo) {
+                        return true;
+                    }
+                }
+                NodeDef::AndJoin { next } => {
+                    let mut s = state.remove_token(idx);
+                    let (expected, arrived) = join_counts(&s.joins, node.0);
+                    let arrived = arrived + 1;
+                    if arrived >= expected.max(1) {
+                        clear_join(&mut s.joins, node.0);
+                        s.tokens.push(next.0);
+                    } else {
+                        set_join(&mut s.joins, node.0, expected, arrived);
+                    }
+                    if self.search(s.canonical(), trace, pos, need_completion, memo) {
+                        return true;
+                    }
+                }
+                NodeDef::End => {
+                    let s = state.remove_token(idx);
+                    if self.search(s.canonical(), trace, pos, need_completion, memo) {
+                        return true;
+                    }
+                }
+            }
+        }
+        false
+    }
+}
+
+fn join_counts(joins: &[(usize, usize, usize)], node: usize) -> (usize, usize) {
+    joins
+        .iter()
+        .find(|(j, _, _)| *j == node)
+        .map_or((0, 0), |&(_, e, a)| (e, a))
+}
+
+fn bump_join(joins: &mut Vec<(usize, usize, usize)>, node: usize, add_expected: usize, add_arrived: usize) {
+    if let Some(entry) = joins.iter_mut().find(|(j, _, _)| *j == node) {
+        entry.1 += add_expected;
+        entry.2 += add_arrived;
+    } else {
+        joins.push((node, add_expected, add_arrived));
+    }
+}
+
+fn set_join(joins: &mut Vec<(usize, usize, usize)>, node: usize, expected: usize, arrived: usize) {
+    if let Some(entry) = joins.iter_mut().find(|(j, _, _)| *j == node) {
+        entry.1 = expected;
+        entry.2 = arrived;
+    } else {
+        joins.push((node, expected, arrived));
+    }
+}
+
+fn clear_join(joins: &mut Vec<(usize, usize, usize)>, node: usize) {
+    joins.retain(|(j, _, _)| *j != node);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ModelBuilder;
+    use crate::engine::{simulate, SimulationConfig};
+    use crate::scenarios;
+    use wlq_log::{attrs, LogBuilder};
+
+    fn acts(names: &[&str]) -> Vec<Activity> {
+        names.iter().map(|n| Activity::new(*n)).collect()
+    }
+
+    fn linear() -> crate::model::WorkflowModel {
+        let mut b = ModelBuilder::new("linear");
+        let end = b.end();
+        let c = b.task("C", end);
+        let bb = b.task("B", c);
+        let a = b.task("A", bb);
+        b.build(a).unwrap()
+    }
+
+    #[test]
+    fn linear_model_accepts_exactly_its_sequence() {
+        let m = linear();
+        assert!(m.accepts(&acts(&["A", "B", "C"])));
+        assert!(!m.accepts(&acts(&["A", "C", "B"])));
+        assert!(!m.accepts(&acts(&["A", "B"])));
+        assert!(!m.accepts(&acts(&["A", "B", "C", "C"])));
+        assert!(m.accepts_prefix(&acts(&["A", "B"])));
+        assert!(m.accepts_prefix(&acts(&[])));
+        assert!(!m.accepts_prefix(&acts(&["B"])));
+    }
+
+    #[test]
+    fn parallel_model_accepts_both_interleavings() {
+        let mut b = ModelBuilder::new("par");
+        let end = b.end();
+        let join = b.and_join(end);
+        let left = b.task("X", join);
+        let right = b.task("Y", join);
+        let split = b.and_split([left, right], join);
+        let m = b.build(split).unwrap();
+        assert!(m.accepts(&acts(&["X", "Y"])));
+        assert!(m.accepts(&acts(&["Y", "X"])));
+        assert!(!m.accepts(&acts(&["X"])));
+        assert!(!m.accepts(&acts(&["X", "Y", "X"])));
+        assert!(m.accepts_prefix(&acts(&["Y"])));
+    }
+
+    #[test]
+    fn loops_accept_any_number_of_rounds() {
+        let mut b = ModelBuilder::new("loop");
+        let end = b.end();
+        let head = b.placeholder();
+        let body = b.task("W", head);
+        b.fill(head, NodeDef::Xor { branches: vec![(0.5, body), (0.5, end)] });
+        let m = b.build(head).unwrap();
+        for rounds in 0..5 {
+            let trace = vec![Activity::new("W"); rounds];
+            assert!(m.accepts(&trace), "rounds={rounds}");
+        }
+        assert!(!m.accepts(&acts(&["W", "Z"])));
+    }
+
+    #[test]
+    fn simulated_logs_always_conform() {
+        for (model, seed) in [
+            (scenarios::clinic::model(), 1),
+            (scenarios::order::model(), 2),
+            (scenarios::loan::model(), 3),
+        ] {
+            let log = simulate(&model, &SimulationConfig::new(30, seed));
+            let report = model.check_log(&log);
+            assert!(
+                report.is_conforming(),
+                "{}: violations {:?}",
+                model.name(),
+                report.violations()
+            );
+            assert!(report
+                .verdicts
+                .values()
+                .all(|v| *v == Verdict::Complete));
+        }
+    }
+
+    #[test]
+    fn corrupted_traces_are_flagged() {
+        let model = scenarios::order::model();
+        // Hand-build a log that skips shipping entirely.
+        let mut b = LogBuilder::new();
+        let w = b.start_instance();
+        for act in ["PlaceOrder", "CreateInvoice", "CollectPayment", "CloseOrder"] {
+            b.append(w, act, attrs! {}, attrs! {}).unwrap();
+        }
+        b.end_instance(w).unwrap();
+        let log = b.build().unwrap();
+        let report = model.check_log(&log);
+        assert_eq!(report.verdicts[&w], Verdict::Violating);
+        assert_eq!(report.violations(), vec![w]);
+        assert!(!report.is_conforming());
+    }
+
+    #[test]
+    fn open_instances_get_prefix_verdicts() {
+        let model = linear();
+        let mut b = LogBuilder::new();
+        let w1 = b.start_instance(); // valid prefix: A
+        b.append(w1, "A", attrs! {}, attrs! {}).unwrap();
+        let w2 = b.start_instance(); // violating: starts with B
+        b.append(w2, "B", attrs! {}, attrs! {}).unwrap();
+        let log = b.build().unwrap();
+        let report = model.check_log(&log);
+        assert_eq!(report.verdicts[&w1], Verdict::ValidPrefix);
+        assert_eq!(report.verdicts[&w2], Verdict::Violating);
+    }
+
+    #[test]
+    fn incomplete_run_with_end_is_violating() {
+        // A completed instance that stopped halfway through the model.
+        let model = linear();
+        let mut b = LogBuilder::new();
+        let w = b.start_instance();
+        b.append(w, "A", attrs! {}, attrs! {}).unwrap();
+        b.end_instance(w).unwrap();
+        let log = b.build().unwrap();
+        assert_eq!(model.check_log(&log).verdicts[&w], Verdict::Violating);
+    }
+}

@@ -1,0 +1,124 @@
+//! Data effects: how task executions write attribute values.
+
+use rand::Rng;
+
+use wlq_log::{AttrMap, Value};
+
+/// How a task computes the value it writes to an attribute.
+///
+/// Effects are evaluated against the instance's current attribute store
+/// and a seeded RNG, so simulations are reproducible.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DataEffect {
+    /// Write a fixed value.
+    Const(Value),
+    /// Write an integer drawn uniformly from `lo..=hi`.
+    UniformInt {
+        /// Inclusive lower bound.
+        lo: i64,
+        /// Inclusive upper bound.
+        hi: i64,
+    },
+    /// Write one of the given strings, uniformly.
+    OneOf(Vec<String>),
+    /// Write a fresh pseudo-random 5-hex-digit identifier (e.g. `034d1`).
+    FreshId,
+    /// Copy the current value of another attribute (⊥ if undefined).
+    CopyFrom(String),
+    /// Add `delta` to the current integer value of the attribute being
+    /// written (treating ⊥/non-integers as 0).
+    Add(i64),
+}
+
+impl DataEffect {
+    /// Evaluates the effect for attribute `target` given the current
+    /// attribute `store`.
+    pub fn eval<R: Rng + ?Sized>(&self, target: &str, store: &AttrMap, rng: &mut R) -> Value {
+        match self {
+            DataEffect::Const(v) => v.clone(),
+            DataEffect::UniformInt { lo, hi } => Value::Int(rng.gen_range(*lo..=*hi)),
+            DataEffect::OneOf(options) => {
+                let i = rng.gen_range(0..options.len());
+                Value::from(options[i].as_str())
+            }
+            DataEffect::FreshId => {
+                let id: u32 = rng.gen_range(0..0xF_FFFF);
+                Value::from(format!("{id:05x}"))
+            }
+            DataEffect::CopyFrom(source) => store.get_or_undefined(source),
+            DataEffect::Add(delta) => {
+                let current = store.get(target).and_then(Value::as_int).unwrap_or(0);
+                Value::Int(current + delta)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use wlq_log::attrs;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(11)
+    }
+
+    #[test]
+    fn const_effect_returns_value() {
+        let v = DataEffect::Const(Value::Int(7)).eval("x", &attrs! {}, &mut rng());
+        assert_eq!(v, Value::Int(7));
+    }
+
+    #[test]
+    fn uniform_int_respects_bounds_and_seed() {
+        let mut r1 = rng();
+        let mut r2 = rng();
+        for _ in 0..100 {
+            let a = DataEffect::UniformInt { lo: 5, hi: 9 }.eval("x", &attrs! {}, &mut r1);
+            let b = DataEffect::UniformInt { lo: 5, hi: 9 }.eval("x", &attrs! {}, &mut r2);
+            assert_eq!(a, b);
+            let n = a.as_int().unwrap();
+            assert!((5..=9).contains(&n));
+        }
+    }
+
+    #[test]
+    fn one_of_draws_from_options() {
+        let opts = vec!["a".to_string(), "b".to_string()];
+        let mut r = rng();
+        for _ in 0..20 {
+            let v = DataEffect::OneOf(opts.clone()).eval("x", &attrs! {}, &mut r);
+            assert!(v == Value::from("a") || v == Value::from("b"));
+        }
+    }
+
+    #[test]
+    fn fresh_id_is_five_hex_digits() {
+        let v = DataEffect::FreshId.eval("x", &attrs! {}, &mut rng());
+        let s = v.as_str().unwrap().to_string();
+        assert_eq!(s.len(), 5);
+        assert!(s.chars().all(|c| c.is_ascii_hexdigit()));
+    }
+
+    #[test]
+    fn copy_from_reads_store() {
+        let store = attrs! { "src" => 42i64 };
+        assert_eq!(
+            DataEffect::CopyFrom("src".into()).eval("x", &store, &mut rng()),
+            Value::Int(42)
+        );
+        assert_eq!(
+            DataEffect::CopyFrom("missing".into()).eval("x", &store, &mut rng()),
+            Value::Undefined
+        );
+    }
+
+    #[test]
+    fn add_treats_undefined_as_zero() {
+        let store = attrs! { "x" => 10i64 };
+        assert_eq!(DataEffect::Add(5).eval("x", &store, &mut rng()), Value::Int(15));
+        assert_eq!(DataEffect::Add(5).eval("y", &store, &mut rng()), Value::Int(5));
+    }
+}

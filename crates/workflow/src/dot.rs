@@ -1,0 +1,96 @@
+//! Graphviz DOT export of workflow models, for documentation and
+//! debugging of scenario processes.
+
+use std::fmt::Write as _;
+
+use crate::model::{NodeDef, WorkflowModel};
+
+impl WorkflowModel {
+    /// Renders the model as a Graphviz `digraph`.
+    ///
+    /// Tasks are boxes, XOR gateways diamonds (edges labelled with their
+    /// weights), AND gateways diamonds labelled `+`, and `End` nodes
+    /// double circles.
+    ///
+    /// ```
+    /// use wlq_workflow::scenarios;
+    /// let dot = scenarios::order::model().to_dot();
+    /// assert!(dot.starts_with("digraph"));
+    /// assert!(dot.contains("PlaceOrder"));
+    /// ```
+    #[must_use]
+    pub fn to_dot(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "digraph \"{}\" {{", self.name());
+        let _ = writeln!(out, "  rankdir=LR;");
+        let _ = writeln!(out, "  entry [shape=point];");
+        let _ = writeln!(out, "  entry -> n{};", self.entry().0);
+        for (i, node) in self.nodes().iter().enumerate() {
+            match node {
+                NodeDef::Task { activity, next, .. } => {
+                    let _ = writeln!(out, "  n{i} [shape=box, label=\"{activity}\"];");
+                    let _ = writeln!(out, "  n{i} -> n{};", next.0);
+                }
+                NodeDef::Xor { branches } => {
+                    let _ = writeln!(out, "  n{i} [shape=diamond, label=\"×\"];");
+                    for (weight, target) in branches {
+                        let _ = writeln!(
+                            out,
+                            "  n{i} -> n{} [label=\"{weight:.2}\"];",
+                            target.0
+                        );
+                    }
+                }
+                NodeDef::AndSplit { branches, .. } => {
+                    let _ = writeln!(out, "  n{i} [shape=diamond, label=\"+\"];");
+                    for target in branches {
+                        let _ = writeln!(out, "  n{i} -> n{};", target.0);
+                    }
+                }
+                NodeDef::AndJoin { next } => {
+                    let _ = writeln!(out, "  n{i} [shape=diamond, label=\"+\"];");
+                    let _ = writeln!(out, "  n{i} -> n{};", next.0);
+                }
+                NodeDef::End => {
+                    let _ = writeln!(out, "  n{i} [shape=doublecircle, label=\"\"];");
+                }
+            }
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::scenarios;
+
+    #[test]
+    fn dot_lists_every_task_once() {
+        let model = scenarios::clinic::model();
+        let dot = model.to_dot();
+        for activity in model.activities() {
+            assert_eq!(
+                dot.matches(&format!("label=\"{activity}\"")).count(),
+                1,
+                "{activity} should appear exactly once"
+            );
+        }
+        assert!(dot.starts_with("digraph \"clinic-referral\""));
+        assert!(dot.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn dot_marks_gateways_and_ends() {
+        let dot = scenarios::order::model().to_dot();
+        assert!(dot.contains("shape=diamond"));
+        assert!(dot.contains("shape=doublecircle"));
+        assert!(dot.contains("entry ->"));
+    }
+
+    #[test]
+    fn xor_edges_carry_weights() {
+        let dot = scenarios::loan::model().to_dot();
+        assert!(dot.contains("label=\"0.30\"") || dot.contains("label=\"0.50\""));
+    }
+}

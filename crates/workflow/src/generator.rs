@@ -1,0 +1,305 @@
+//! Synthetic and adversarial log generators for benchmarks.
+//!
+//! The paper has no public datasets, so the benchmark harness generates
+//! logs with precisely controlled shapes:
+//!
+//! * [`uniform_log`] — instances of fixed length over a uniform activity
+//!   alphabet (the generic scaling workload),
+//! * [`worst_case_log`] — a single instance whose records all carry the
+//!   same activity, the input that realises Theorem 1's `O(m^k)` bound,
+//! * [`pair_log`] — exactly `n1` records of activity `A` and `n2` of `B`
+//!   in one instance, for Lemma 1's per-operator `n1·n2` sweeps,
+//! * [`skewed_log`] — a Zipf-ish alphabet for optimizer experiments.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use wlq_log::{attrs, Log, LogBuilder};
+
+/// A log of `instances` instances, each with `length` task records drawn
+/// uniformly from an alphabet `T0..T{alphabet-1}`, interleaved round-robin.
+///
+/// # Panics
+///
+/// Panics if `instances`, `length`, or `alphabet` is 0.
+#[must_use]
+pub fn uniform_log(instances: usize, length: usize, alphabet: usize, seed: u64) -> Log {
+    assert!(instances > 0 && length > 0 && alphabet > 0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let names: Vec<String> = (0..alphabet).map(|i| format!("T{i}")).collect();
+    let mut b = LogBuilder::new();
+    let wids: Vec<_> = (0..instances).map(|_| b.start_instance()).collect();
+    for _ in 0..length {
+        for &wid in &wids {
+            let name = &names[rng.gen_range(0..alphabet)];
+            b.append(wid, name.as_str(), attrs! {}, attrs! {}).expect("open");
+        }
+    }
+    for &wid in &wids {
+        b.end_instance(wid).expect("open");
+    }
+    b.build().expect("nonempty")
+}
+
+/// The Theorem 1 worst case: one instance, `m` records all named
+/// `activity`. Every subset-combination explosion the paper's bound
+/// describes is realised on this input.
+///
+/// # Panics
+///
+/// Panics if `m` is 0.
+#[must_use]
+pub fn worst_case_log(activity: &str, m: usize) -> Log {
+    assert!(m > 0);
+    let mut b = LogBuilder::new();
+    let wid = b.start_instance();
+    for _ in 0..m {
+        b.append(wid, activity, attrs! {}, attrs! {}).expect("open");
+    }
+    b.build().expect("nonempty")
+}
+
+/// One instance containing exactly `n1` records of activity `a` followed
+/// by `n2` records of `b` (so `a -> b` pairs are maximal: `n1·n2`).
+///
+/// With `interleave = true` the records alternate instead, halving the
+/// ordered pairs but exercising the merge paths.
+///
+/// # Panics
+///
+/// Panics if `n1` or `n2` is 0.
+#[must_use]
+pub fn pair_log(a: &str, n1: usize, b_name: &str, n2: usize, interleave: bool) -> Log {
+    assert!(n1 > 0 && n2 > 0);
+    let mut b = LogBuilder::new();
+    let wid = b.start_instance();
+    if interleave {
+        let (mut i, mut j) = (0, 0);
+        while i < n1 || j < n2 {
+            if i < n1 {
+                b.append(wid, a, attrs! {}, attrs! {}).expect("open");
+                i += 1;
+            }
+            if j < n2 {
+                b.append(wid, b_name, attrs! {}, attrs! {}).expect("open");
+                j += 1;
+            }
+        }
+    } else {
+        for _ in 0..n1 {
+            b.append(wid, a, attrs! {}, attrs! {}).expect("open");
+        }
+        for _ in 0..n2 {
+            b.append(wid, b_name, attrs! {}, attrs! {}).expect("open");
+        }
+    }
+    b.build().expect("nonempty")
+}
+
+/// A multi-instance log with a skewed (geometric) activity distribution:
+/// activity `T0` is the most frequent, each later activity roughly half as
+/// frequent. Used by the optimizer ablation — selectivity differences are
+/// what join reordering exploits.
+///
+/// # Panics
+///
+/// Panics if `instances`, `length`, or `alphabet` is 0.
+#[must_use]
+pub fn skewed_log(instances: usize, length: usize, alphabet: usize, seed: u64) -> Log {
+    assert!(instances > 0 && length > 0 && alphabet > 0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let names: Vec<String> = (0..alphabet).map(|i| format!("T{i}")).collect();
+    // Geometric weights 2^-(i+1), renormalised by rejection.
+    let mut b = LogBuilder::new();
+    let wids: Vec<_> = (0..instances).map(|_| b.start_instance()).collect();
+    for _ in 0..length {
+        for &wid in &wids {
+            let mut idx = 0;
+            while idx + 1 < alphabet && rng.gen_bool(0.5) {
+                idx += 1;
+            }
+            b.append(wid, names[idx].as_str(), attrs! {}, attrs! {}).expect("open");
+        }
+    }
+    for &wid in &wids {
+        b.end_instance(wid).expect("open");
+    }
+    b.build().expect("nonempty")
+}
+
+/// Injects control-flow anomalies into a log: in a fraction `rate` of the
+/// instances, one randomly chosen task record is moved to a later random
+/// position within its instance (re-numbering is-lsns, so the result is
+/// still a *valid* log — just one that may no longer conform to the
+/// process that produced it). Returns the drifted log together with the
+/// ids of the tampered instances.
+///
+/// Used to calibrate conformance checking and audit rules: a detector
+/// should flag (a superset of) the returned instances.
+///
+/// # Panics
+///
+/// Panics if `rate` is outside `0.0..=1.0`.
+#[must_use]
+pub fn inject_reorder_anomalies(log: &Log, rate: f64, seed: u64) -> (Log, Vec<wlq_log::Wid>) {
+    assert!((0.0..=1.0).contains(&rate), "rate must be a probability");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = LogBuilder::new();
+    let mut tampered = Vec::new();
+    for wid in log.wids() {
+        let tasks: Vec<_> = log
+            .instance(wid)
+            .filter(|r| !r.is_start() && !r.is_end())
+            .cloned()
+            .collect();
+        let completed = log.is_completed(wid);
+        b.start_instance_with_id(wid).expect("fresh wid");
+        let tamper = tasks.len() >= 2 && rng.gen_bool(rate);
+        let order: Vec<usize> = if tamper {
+            tampered.push(wid);
+            let from = rng.gen_range(0..tasks.len() - 1);
+            let to = rng.gen_range(from + 1..tasks.len());
+            let mut order: Vec<usize> = (0..tasks.len()).collect();
+            let moved = order.remove(from);
+            order.insert(to, moved);
+            order
+        } else {
+            (0..tasks.len()).collect()
+        };
+        for i in order {
+            let r = &tasks[i];
+            b.append(wid, r.activity().clone(), r.input().clone(), r.output().clone())
+                .expect("open");
+        }
+        if completed {
+            b.end_instance(wid).expect("open");
+        }
+    }
+    (b.build().expect("nonempty"), tampered)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wlq_log::{LogStats, Wid};
+
+    #[test]
+    fn uniform_log_shape() {
+        let log = uniform_log(4, 10, 3, 1);
+        assert_eq!(log.num_instances(), 4);
+        assert_eq!(log.len(), 4 * (10 + 2)); // + START and END
+        for wid in log.wids() {
+            assert!(log.is_completed(wid));
+            assert_eq!(log.instance_len(wid), 12);
+        }
+        let stats = LogStats::compute(&log);
+        let total: usize =
+            (0..3).map(|i| stats.activity_count(&format!("T{i}"))).sum();
+        assert_eq!(total, 40);
+    }
+
+    #[test]
+    fn uniform_log_is_deterministic() {
+        assert_eq!(uniform_log(3, 5, 2, 9), uniform_log(3, 5, 2, 9));
+        assert_ne!(uniform_log(3, 5, 2, 9), uniform_log(3, 5, 2, 10));
+    }
+
+    #[test]
+    fn worst_case_log_is_single_instance_single_activity() {
+        let log = worst_case_log("t", 16);
+        assert_eq!(log.num_instances(), 1);
+        assert_eq!(log.len(), 17); // START + 16
+        let stats = LogStats::compute(&log);
+        assert_eq!(stats.activity_count("t"), 16);
+    }
+
+    #[test]
+    fn pair_log_block_layout_maximises_ordered_pairs() {
+        let log = pair_log("A", 3, "B", 4, false);
+        let acts: Vec<&str> = log
+            .instance(Wid(1))
+            .map(|r| r.activity().as_str())
+            .collect();
+        assert_eq!(acts, ["START", "A", "A", "A", "B", "B", "B", "B"]);
+    }
+
+    #[test]
+    fn pair_log_interleaved_alternates() {
+        let log = pair_log("A", 2, "B", 2, true);
+        let acts: Vec<&str> = log
+            .instance(Wid(1))
+            .map(|r| r.activity().as_str())
+            .collect();
+        assert_eq!(acts, ["START", "A", "B", "A", "B"]);
+    }
+
+    #[test]
+    fn injected_anomalies_keep_logs_valid_and_are_reported() {
+        let model = crate::scenarios::clinic::model();
+        let log = crate::simulate(&model, &crate::SimulationConfig::new(60, 9));
+        let (drifted, tampered) = inject_reorder_anomalies(&log, 0.4, 7);
+        // Still a valid log of the same shape.
+        assert_eq!(drifted.len(), log.len());
+        assert_eq!(drifted.num_instances(), log.num_instances());
+        assert!(!tampered.is_empty());
+        // Untampered instances are byte-identical in activity sequence.
+        for wid in log.wids() {
+            let before: Vec<_> = log.instance(wid).map(|r| r.activity().clone()).collect();
+            let after: Vec<_> =
+                drifted.instance(wid).map(|r| r.activity().clone()).collect();
+            if tampered.contains(&wid) {
+                // Same multiset, possibly different order.
+                let mut b = before.clone();
+                let mut a = after.clone();
+                b.sort();
+                a.sort();
+                assert_eq!(a, b, "tampering changed the multiset for {wid:?}");
+            } else {
+                assert_eq!(before, after, "untampered {wid:?} changed");
+            }
+        }
+    }
+
+    #[test]
+    fn conformance_flags_only_tampered_candidates() {
+        let model = crate::scenarios::order::model();
+        let log = crate::simulate(&model, &crate::SimulationConfig::new(40, 3));
+        let (drifted, tampered) = inject_reorder_anomalies(&log, 0.5, 11);
+        let report = model.check_log(&drifted);
+        // Every violation must be a tampered instance (reordering can be
+        // harmless — e.g. swapping the two parallel branches — so not
+        // every tampered instance violates; but no clean one may).
+        for wid in report.violations() {
+            assert!(tampered.contains(&wid), "{wid:?} flagged but not tampered");
+        }
+        assert!(
+            !report.violations().is_empty(),
+            "seed produced no detectable anomaly; pick another"
+        );
+    }
+
+    #[test]
+    fn zero_rate_is_identity_on_activity_sequences() {
+        // The rebuild regroups instances (global lsns differ), but every
+        // instance's sequence — what incident semantics observe — is
+        // unchanged.
+        let log = uniform_log(5, 8, 3, 2);
+        let (drifted, tampered) = inject_reorder_anomalies(&log, 0.0, 1);
+        assert!(tampered.is_empty());
+        for wid in log.wids() {
+            let before: Vec<_> = log.instance(wid).map(|r| r.activity().clone()).collect();
+            let after: Vec<_> =
+                drifted.instance(wid).map(|r| r.activity().clone()).collect();
+            assert_eq!(before, after);
+        }
+    }
+
+    #[test]
+    fn skewed_log_is_actually_skewed() {
+        let log = skewed_log(2, 200, 6, 3);
+        let stats = LogStats::compute(&log);
+        let c0 = stats.activity_count("T0");
+        let c4 = stats.activity_count("T4");
+        assert!(c0 > 3 * c4.max(1), "T0={c0} T4={c4}: not skewed");
+    }
+}

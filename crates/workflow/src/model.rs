@@ -1,0 +1,339 @@
+//! Workflow models: BPMN-style control-flow graphs with data effects.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use wlq_log::Activity;
+
+use crate::data::DataEffect;
+
+/// Index of a node within a [`WorkflowModel`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub usize);
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// A node of a workflow model.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NodeDef {
+    /// Execute an activity: read `reads`, write `writes`, then move to
+    /// `next`.
+    Task {
+        /// The activity name logged for this task.
+        activity: Activity,
+        /// Attributes the task reads (they become `αin`, with their
+        /// current values, when defined).
+        reads: Vec<String>,
+        /// Attribute writes (they become `αout`).
+        writes: Vec<(String, DataEffect)>,
+        /// Successor node.
+        next: NodeId,
+    },
+    /// Exclusive (XOR) gateway: follow exactly one branch, drawn by
+    /// weight.
+    Xor {
+        /// `(weight, target)` pairs; weights need not sum to 1.
+        branches: Vec<(f64, NodeId)>,
+    },
+    /// Parallel (AND) split: activate every branch concurrently; tokens
+    /// meet at `join`.
+    AndSplit {
+        /// Branch entry nodes.
+        branches: Vec<NodeId>,
+        /// The matching [`NodeDef::AndJoin`].
+        join: NodeId,
+    },
+    /// Parallel (AND) join: a barrier; when all of the matching split's
+    /// tokens arrive, one token continues to `next`.
+    AndJoin {
+        /// Successor after the barrier.
+        next: NodeId,
+    },
+    /// Terminate the instance (an `END` record is written).
+    End,
+}
+
+/// Errors detected by [`WorkflowModel::validate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ModelError {
+    /// The model has no nodes.
+    Empty,
+    /// A node references an out-of-range node id.
+    DanglingEdge {
+        /// The node holding the reference.
+        from: usize,
+        /// The missing target.
+        to: usize,
+    },
+    /// An XOR gateway has no branches or a non-positive total weight.
+    BadXor(usize),
+    /// An AND split has no branches or its `join` is not an `AndJoin`.
+    BadAndSplit(usize),
+    /// No `End` node is reachable from the entry node.
+    EndUnreachable,
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::Empty => write!(f, "model has no nodes"),
+            ModelError::DanglingEdge { from, to } => {
+                write!(f, "node n{from} references missing node n{to}")
+            }
+            ModelError::BadXor(id) => {
+                write!(f, "xor gateway n{id} has no branches or non-positive weights")
+            }
+            ModelError::BadAndSplit(id) => {
+                write!(f, "and-split n{id} has no branches or a join that is not an and-join")
+            }
+            ModelError::EndUnreachable => write!(f, "no end node is reachable from the entry"),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+/// A workflow model: a named control-flow graph over tasks and gateways.
+///
+/// Build models with [`ModelBuilder`](crate::ModelBuilder); enact them
+/// with [`simulate`](crate::simulate).
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkflowModel {
+    name: String,
+    nodes: Vec<NodeDef>,
+    entry: NodeId,
+}
+
+impl WorkflowModel {
+    /// Assembles and validates a model.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ModelError`] describing the first structural problem.
+    pub fn new(
+        name: impl Into<String>,
+        nodes: Vec<NodeDef>,
+        entry: NodeId,
+    ) -> Result<Self, ModelError> {
+        let model = WorkflowModel { name: name.into(), nodes, entry };
+        model.validate()?;
+        Ok(model)
+    }
+
+    /// The model's name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The entry node (where each instance's first token starts).
+    #[must_use]
+    pub fn entry(&self) -> NodeId {
+        self.entry
+    }
+
+    /// The node table.
+    #[must_use]
+    pub fn nodes(&self) -> &[NodeDef] {
+        &self.nodes
+    }
+
+    /// Looks up a node definition.
+    #[must_use]
+    pub fn node(&self, id: NodeId) -> &NodeDef {
+        &self.nodes[id.0]
+    }
+
+    /// The distinct task activity names in the model, sorted.
+    #[must_use]
+    pub fn activities(&self) -> Vec<Activity> {
+        let mut set: BTreeSet<Activity> = BTreeSet::new();
+        for node in &self.nodes {
+            if let NodeDef::Task { activity, .. } = node {
+                set.insert(activity.clone());
+            }
+        }
+        set.into_iter().collect()
+    }
+
+    fn validate(&self) -> Result<(), ModelError> {
+        if self.nodes.is_empty() {
+            return Err(ModelError::Empty);
+        }
+        let check = |from: usize, to: NodeId| {
+            if to.0 < self.nodes.len() {
+                Ok(())
+            } else {
+                Err(ModelError::DanglingEdge { from, to: to.0 })
+            }
+        };
+        check(usize::MAX, self.entry).map_err(|_| ModelError::DanglingEdge {
+            from: 0,
+            to: self.entry.0,
+        })?;
+        for (i, node) in self.nodes.iter().enumerate() {
+            match node {
+                NodeDef::Task { next, .. } => check(i, *next)?,
+                NodeDef::Xor { branches } => {
+                    if branches.is_empty() || branches.iter().any(|&(w, _)| w <= 0.0) {
+                        return Err(ModelError::BadXor(i));
+                    }
+                    for &(_, target) in branches {
+                        check(i, target)?;
+                    }
+                }
+                NodeDef::AndSplit { branches, join } => {
+                    if branches.is_empty() {
+                        return Err(ModelError::BadAndSplit(i));
+                    }
+                    for &target in branches {
+                        check(i, target)?;
+                    }
+                    check(i, *join)?;
+                    if !matches!(self.nodes[join.0], NodeDef::AndJoin { .. }) {
+                        return Err(ModelError::BadAndSplit(i));
+                    }
+                }
+                NodeDef::AndJoin { next } => check(i, *next)?,
+                NodeDef::End => {}
+            }
+        }
+        // Reachability of at least one End from the entry.
+        let mut seen = vec![false; self.nodes.len()];
+        let mut stack = vec![self.entry];
+        let mut end_reachable = false;
+        while let Some(NodeId(i)) = stack.pop() {
+            if seen[i] {
+                continue;
+            }
+            seen[i] = true;
+            match &self.nodes[i] {
+                NodeDef::Task { next, .. } | NodeDef::AndJoin { next } => stack.push(*next),
+                NodeDef::Xor { branches } => {
+                    stack.extend(branches.iter().map(|&(_, t)| t));
+                }
+                NodeDef::AndSplit { branches, join } => {
+                    stack.extend(branches.iter().copied());
+                    stack.push(*join);
+                }
+                NodeDef::End => end_reachable = true,
+            }
+        }
+        if !end_reachable {
+            return Err(ModelError::EndUnreachable);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn task(name: &str, next: usize) -> NodeDef {
+        NodeDef::Task {
+            activity: Activity::new(name),
+            reads: vec![],
+            writes: vec![],
+            next: NodeId(next),
+        }
+    }
+
+    #[test]
+    fn linear_model_validates() {
+        let model = WorkflowModel::new(
+            "linear",
+            vec![task("A", 1), task("B", 2), NodeDef::End],
+            NodeId(0),
+        )
+        .unwrap();
+        assert_eq!(model.name(), "linear");
+        assert_eq!(model.entry(), NodeId(0));
+        assert_eq!(model.activities().len(), 2);
+    }
+
+    #[test]
+    fn empty_model_is_rejected() {
+        assert_eq!(
+            WorkflowModel::new("x", vec![], NodeId(0)),
+            Err(ModelError::Empty)
+        );
+    }
+
+    #[test]
+    fn dangling_edges_are_rejected() {
+        let err = WorkflowModel::new("x", vec![task("A", 5)], NodeId(0)).unwrap_err();
+        assert_eq!(err, ModelError::DanglingEdge { from: 0, to: 5 });
+    }
+
+    #[test]
+    fn xor_needs_positive_weights() {
+        let nodes = vec![
+            NodeDef::Xor { branches: vec![(0.0, NodeId(1))] },
+            NodeDef::End,
+        ];
+        assert_eq!(
+            WorkflowModel::new("x", nodes, NodeId(0)),
+            Err(ModelError::BadXor(0))
+        );
+        let nodes = vec![NodeDef::Xor { branches: vec![] }, NodeDef::End];
+        assert_eq!(
+            WorkflowModel::new("x", nodes, NodeId(0)),
+            Err(ModelError::BadXor(0))
+        );
+    }
+
+    #[test]
+    fn and_split_join_must_pair() {
+        // join pointing at a Task is invalid.
+        let nodes = vec![
+            NodeDef::AndSplit { branches: vec![NodeId(1)], join: NodeId(1) },
+            task("A", 2),
+            NodeDef::End,
+        ];
+        assert_eq!(
+            WorkflowModel::new("x", nodes, NodeId(0)),
+            Err(ModelError::BadAndSplit(0))
+        );
+    }
+
+    #[test]
+    fn unreachable_end_is_rejected() {
+        // A → A loop, End exists but unreachable.
+        let nodes = vec![task("A", 0), NodeDef::End];
+        assert_eq!(
+            WorkflowModel::new("x", nodes, NodeId(0)),
+            Err(ModelError::EndUnreachable)
+        );
+    }
+
+    #[test]
+    fn valid_and_split_model() {
+        let nodes = vec![
+            NodeDef::AndSplit { branches: vec![NodeId(1), NodeId(2)], join: NodeId(3) },
+            task("Ship", 3),
+            task("Invoice", 3),
+            NodeDef::AndJoin { next: NodeId(4) },
+            NodeDef::End,
+        ];
+        let model = WorkflowModel::new("par", nodes, NodeId(0)).unwrap();
+        assert_eq!(model.activities().len(), 2);
+    }
+
+    #[test]
+    fn error_messages_are_informative() {
+        for e in [
+            ModelError::Empty,
+            ModelError::DanglingEdge { from: 1, to: 9 },
+            ModelError::BadXor(2),
+            ModelError::BadAndSplit(3),
+            ModelError::EndUnreachable,
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,178 @@
+//! The college-clinic referral process of the paper's Example 2.
+//!
+//! A student gets a referral with a budget (`balance`), checks in at the
+//! referred hospital, then cycles through doctor visits, payments,
+//! treatments, and possible referral updates (a new diagnosis may raise
+//! the balance), finally collecting reimbursement and completing the
+//! referral. Activity names match the paper's Figure 3.
+
+use crate::builder::ModelBuilder;
+use crate::data::DataEffect;
+use crate::model::{NodeDef, WorkflowModel};
+
+/// Builds the clinic referral model.
+///
+/// Control flow (loop weights in parentheses):
+///
+/// ```text
+/// START → GetRefer → CheckIn → ┬─(0.45)→ SeeDoctor → PayTreatment ─┬─(0.5)→ TakeTreatment ─┐
+///                              │                                   └─(0.5)────────────────┤
+///                              ├─(0.15)→ UpdateRefer ──────────────────────────────────────┤
+///                              │                 ↑ loops back ──────────────────────────────┘
+///                              └─(0.40)→ GetReimburse → CompleteRefer → END
+/// ```
+#[must_use]
+pub fn model() -> WorkflowModel {
+    let mut b = ModelBuilder::new("clinic-referral");
+    let end = b.end();
+    let complete = b.task_io(
+        "CompleteRefer",
+        ["referState", "balance"],
+        [("referState", DataEffect::Const("complete".into()))],
+        end,
+    );
+    let reimburse = b.task_io(
+        "GetReimburse",
+        ["referState", "balance", "receipt", "receiptState"],
+        [
+            ("reimburse", DataEffect::CopyFrom("balance".into())),
+            ("balance", DataEffect::Const(0i64.into())),
+            ("receiptState", DataEffect::Const("complete".into())),
+        ],
+        complete,
+    );
+
+    // The visit/update loop head is a forward reference.
+    let loop_head = b.placeholder();
+
+    let take_treatment = b.task_io(
+        "TakeTreatment",
+        ["referId", "receipt"],
+        [],
+        loop_head,
+    );
+    let after_pay = b.xor([(0.5, take_treatment), (0.5, loop_head)]);
+    let pay = b.task_io(
+        "PayTreatment",
+        ["referId", "referState"],
+        [
+            ("receipt", DataEffect::UniformInt { lo: 50, hi: 5000 }),
+            ("receiptState", DataEffect::Const("active".into())),
+        ],
+        after_pay,
+    );
+    let see_doctor = b.task_io("SeeDoctor", ["referId", "referState"], [], pay);
+    let update = b.task_io(
+        "UpdateRefer",
+        ["referId", "referState", "balance"],
+        [("balance", DataEffect::Add(3000))],
+        loop_head,
+    );
+    b.fill(
+        loop_head,
+        NodeDef::Xor {
+            branches: vec![(0.45, see_doctor), (0.15, update), (0.40, reimburse)],
+        },
+    );
+
+    let check_in = b.task_io(
+        "CheckIn",
+        ["referId", "referState", "balance"],
+        [("referState", DataEffect::Const("active".into()))],
+        loop_head,
+    );
+    let get_refer = b.task_io(
+        "GetRefer",
+        [] as [&str; 0],
+        [
+            (
+                "hospital",
+                DataEffect::OneOf(vec![
+                    "Public Hospital".to_string(),
+                    "People Hospital".to_string(),
+                    "Union Hospital".to_string(),
+                ]),
+            ),
+            ("referId", DataEffect::FreshId),
+            ("referState", DataEffect::Const("start".into())),
+            ("balance", DataEffect::UniformInt { lo: 500, hi: 8000 }),
+        ],
+        check_in,
+    );
+    b.build(get_refer).expect("clinic model is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{simulate, SimulationConfig};
+    use wlq_log::LogStats;
+
+    #[test]
+    fn model_has_the_figure3_activities() {
+        let names: Vec<String> = model()
+            .activities()
+            .iter()
+            .map(|a| a.as_str().to_string())
+            .collect();
+        assert_eq!(
+            names,
+            [
+                "CheckIn",
+                "CompleteRefer",
+                "GetRefer",
+                "GetReimburse",
+                "PayTreatment",
+                "SeeDoctor",
+                "TakeTreatment",
+                "UpdateRefer",
+            ]
+        );
+    }
+
+    #[test]
+    fn every_instance_follows_the_referral_protocol() {
+        let log = simulate(&model(), &SimulationConfig::new(30, 17));
+        for wid in log.wids() {
+            let acts: Vec<&str> =
+                log.instance(wid).map(|r| r.activity().as_str()).collect();
+            assert_eq!(acts[0], "START");
+            assert_eq!(acts[1], "GetRefer");
+            assert_eq!(acts[2], "CheckIn");
+            assert_eq!(acts[acts.len() - 1], "END");
+            // PayTreatment is always immediately preceded by SeeDoctor.
+            for (i, a) in acts.iter().enumerate() {
+                if *a == "PayTreatment" {
+                    assert_eq!(acts[i - 1], "SeeDoctor", "instance {wid:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn balances_are_set_and_sometimes_updated() {
+        let log = simulate(&model(), &SimulationConfig::new(200, 23));
+        let stats = LogStats::compute(&log);
+        assert_eq!(stats.activity_count("GetRefer"), 200);
+        // With weight 0.15 per loop round, updates occur but not always.
+        let updates = stats.activity_count("UpdateRefer");
+        assert!(updates > 0, "no UpdateRefer in 200 instances");
+        assert!(updates < 600);
+        // An update raises the balance by 3000.
+        let update_rec = log
+            .iter()
+            .find(|r| r.activity().as_str() == "UpdateRefer")
+            .unwrap();
+        let before = update_rec.input().get_or_undefined("balance").as_int().unwrap();
+        let after = update_rec.output().get_or_undefined("balance").as_int().unwrap();
+        assert_eq!(after, before + 3000);
+    }
+
+    #[test]
+    fn reimbursement_zeroes_the_balance() {
+        let log = simulate(&model(), &SimulationConfig::new(20, 31));
+        for r in log.iter().filter(|r| r.activity().as_str() == "GetReimburse") {
+            assert_eq!(r.output().get_or_undefined("balance").as_int(), Some(0));
+        }
+    }
+}

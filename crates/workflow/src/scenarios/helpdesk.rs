@@ -1,0 +1,142 @@
+//! Helpdesk ticketing: triage, parallel diagnosis, escalation loops.
+//!
+//! This scenario combines every gateway type in one model — an XOR
+//! triage, an AND block (reproduction and log collection proceed in
+//! parallel), and an escalation loop that can cycle tickets between
+//! support levels — which makes it the stress scenario for queries mixing
+//! all four operators.
+
+use crate::builder::ModelBuilder;
+use crate::data::DataEffect;
+use crate::model::{NodeDef, WorkflowModel};
+
+/// Builds the helpdesk model:
+///
+/// ```text
+/// START → OpenTicket → Triage ─┬─(0.35)→ AnswerFaq → Close → END
+///                              └─(0.65)→ ⟨AND⟩ ┬→ Reproduce ─┐
+///                                              └→ CollectLogs ┴→ ⟨JOIN⟩ → Diagnose
+///   Diagnose → ┬─(0.5)→ Fix → Verify ─┬─(0.8)→ Close → END
+///              │                      └─(0.2)→ Diagnose       (verification failed)
+///              └─(0.5)→ Escalate → Diagnose                   (up a support level)
+/// ```
+#[must_use]
+pub fn model() -> WorkflowModel {
+    let mut b = ModelBuilder::new("helpdesk");
+    let end = b.end();
+    let close = b.task_io(
+        "Close",
+        ["ticketId"],
+        [("state", DataEffect::Const("closed".into()))],
+        end,
+    );
+
+    let diagnose_gateway = b.placeholder();
+    let diagnose = b.task_io(
+        "Diagnose",
+        ["ticketId", "severity"],
+        [],
+        diagnose_gateway,
+    );
+
+    let verify_gateway = b.xor([(0.8, close), (0.2, diagnose)]);
+    let verify = b.task_io("Verify", ["ticketId"], [], verify_gateway);
+    let fix = b.task_io(
+        "Fix",
+        ["ticketId"],
+        [("patched", DataEffect::Const(true.into()))],
+        verify,
+    );
+    let escalate = b.task_io(
+        "Escalate",
+        ["ticketId", "level"],
+        [("level", DataEffect::Add(1))],
+        diagnose,
+    );
+    b.fill(
+        diagnose_gateway,
+        NodeDef::Xor { branches: vec![(0.5, fix), (0.5, escalate)] },
+    );
+
+    let join = b.and_join(diagnose);
+    let reproduce = b.task_io("Reproduce", ["ticketId"], [], join);
+    let collect = b.task_io("CollectLogs", ["ticketId"], [], join);
+    let split = b.and_split([reproduce, collect], join);
+
+    let faq = b.task_io("AnswerFaq", ["ticketId"], [], close);
+    let triage = b.xor([(0.35, faq), (0.65, split)]);
+    let open = b.task_io(
+        "OpenTicket",
+        [] as [&str; 0],
+        [
+            ("ticketId", DataEffect::FreshId),
+            ("severity", DataEffect::UniformInt { lo: 1, hi: 4 }),
+            ("level", DataEffect::Const(1i64.into())),
+            ("state", DataEffect::Const("open".into())),
+        ],
+        triage,
+    );
+    b.build(open).expect("helpdesk model is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{simulate, SimulationConfig};
+    use wlq_log::LogStats;
+
+    #[test]
+    fn tickets_either_answer_faq_or_go_through_diagnosis() {
+        let log = simulate(&model(), &SimulationConfig::new(120, 8));
+        for wid in log.wids() {
+            let acts: Vec<&str> = log.instance(wid).map(|r| r.activity().as_str()).collect();
+            let faq = acts.contains(&"AnswerFaq");
+            let diagnosed = acts.contains(&"Diagnose");
+            assert!(faq ^ diagnosed, "instance {wid:?} must take exactly one route");
+            if diagnosed {
+                assert!(acts.contains(&"Reproduce"));
+                assert!(acts.contains(&"CollectLogs"));
+            }
+            assert_eq!(*acts.last().unwrap(), "END");
+            assert_eq!(acts[acts.len() - 2], "Close");
+        }
+    }
+
+    #[test]
+    fn escalation_levels_accumulate() {
+        let log = simulate(&model(), &SimulationConfig::new(300, 21));
+        let mut max_level = 1;
+        for r in log.iter().filter(|r| r.activity().as_str() == "Escalate") {
+            let after = r.output().get_or_undefined("level").as_int().unwrap();
+            let before = r.input().get_or_undefined("level").as_int().unwrap();
+            assert_eq!(after, before + 1);
+            max_level = max_level.max(after);
+        }
+        assert!(max_level >= 2, "no ticket escalated twice in 300 instances");
+    }
+
+    #[test]
+    fn model_conforms_to_itself_and_has_expected_activities() {
+        let m = model();
+        let names: Vec<String> =
+            m.activities().iter().map(|a| a.as_str().to_string()).collect();
+        assert_eq!(
+            names,
+            [
+                "AnswerFaq",
+                "Close",
+                "CollectLogs",
+                "Diagnose",
+                "Escalate",
+                "Fix",
+                "OpenTicket",
+                "Reproduce",
+                "Verify",
+            ]
+        );
+        let log = simulate(&m, &SimulationConfig::new(40, 3));
+        assert!(m.check_log(&log).is_conforming());
+        let stats = LogStats::compute(&log);
+        assert_eq!(stats.activity_count("OpenTicket"), 40);
+    }
+}

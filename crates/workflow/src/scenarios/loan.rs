@@ -1,0 +1,128 @@
+//! Loan origination with nested exclusive choices.
+//!
+//! Choice-heavy control flow (auto-approval, manual review, rejection,
+//! appeal) exercises the `⊗` operator and the optimizer's choice
+//! factoring: many distinct paths share prefixes.
+
+use crate::builder::ModelBuilder;
+use crate::data::DataEffect;
+use crate::model::WorkflowModel;
+
+/// Builds the loan origination model:
+///
+/// ```text
+/// START → Submit → CheckCredit → ┬─(0.3)→ AutoApprove ────────────┐
+///                                ├─(0.5)→ ManualReview ┬─(0.6)→ Approve ─┤
+///                                │                     └─(0.4)→ Reject → ┬─(0.3)→ Appeal → ManualReview
+///                                └─(0.2)→ Reject  ──────────────────────┴─(0.7)→ END
+///                                              approved → SignContract → Disburse → END
+/// ```
+#[must_use]
+pub fn model() -> WorkflowModel {
+    let mut b = ModelBuilder::new("loan-origination");
+    let end = b.end();
+    let disburse = b.task_io(
+        "Disburse",
+        ["loanId", "amount"],
+        [("loanState", DataEffect::Const("disbursed".into()))],
+        end,
+    );
+    let sign = b.task_io(
+        "SignContract",
+        ["loanId"],
+        [("loanState", DataEffect::Const("signed".into()))],
+        disburse,
+    );
+
+    // Manual review is a loop target (appeals re-enter review).
+    let review_gateway = b.placeholder();
+    let manual_review = b.task_io("ManualReview", ["loanId", "score"], [], review_gateway);
+
+    let appeal = b.task_io("Appeal", ["loanId"], [], manual_review);
+    let after_reject = b.xor([(0.3, appeal), (0.7, end)]);
+    let reject = b.task_io(
+        "Reject",
+        ["loanId", "score"],
+        [("loanState", DataEffect::Const("rejected".into()))],
+        after_reject,
+    );
+    let approve = b.task_io(
+        "Approve",
+        ["loanId", "score"],
+        [("loanState", DataEffect::Const("approved".into()))],
+        sign,
+    );
+    b.fill(
+        review_gateway,
+        crate::model::NodeDef::Xor { branches: vec![(0.6, approve), (0.4, reject)] },
+    );
+
+    let auto_approve = b.task_io(
+        "AutoApprove",
+        ["loanId", "score"],
+        [("loanState", DataEffect::Const("approved".into()))],
+        sign,
+    );
+    let triage = b.xor([(0.3, auto_approve), (0.5, manual_review), (0.2, reject)]);
+    let check = b.task_io(
+        "CheckCredit",
+        ["loanId"],
+        [("score", DataEffect::UniformInt { lo: 300, hi: 850 })],
+        triage,
+    );
+    let submit = b.task_io(
+        "Submit",
+        [] as [&str; 0],
+        [
+            ("loanId", DataEffect::FreshId),
+            ("amount", DataEffect::UniformInt { lo: 1000, hi: 50000 }),
+            ("loanState", DataEffect::Const("submitted".into())),
+        ],
+        check,
+    );
+    b.build(submit).expect("loan model is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{simulate, SimulationConfig};
+    use wlq_log::LogStats;
+
+    #[test]
+    fn all_paths_start_with_submit_and_check() {
+        let log = simulate(&model(), &SimulationConfig::new(40, 4));
+        for wid in log.wids() {
+            let acts: Vec<&str> =
+                log.instance(wid).map(|r| r.activity().as_str()).collect();
+            assert_eq!(&acts[..3], &["START", "Submit", "CheckCredit"]);
+        }
+    }
+
+    #[test]
+    fn outcomes_are_diverse() {
+        let log = simulate(&model(), &SimulationConfig::new(300, 12));
+        let stats = LogStats::compute(&log);
+        assert!(stats.activity_count("AutoApprove") > 0);
+        assert!(stats.activity_count("ManualReview") > 0);
+        assert!(stats.activity_count("Reject") > 0);
+        assert!(stats.activity_count("Approve") > 0);
+        // Appeals exist but are a minority path.
+        let appeals = stats.activity_count("Appeal");
+        assert!(appeals > 0);
+        assert!(appeals < stats.activity_count("Reject"));
+    }
+
+    #[test]
+    fn disbursement_only_after_signing() {
+        let log = simulate(&model(), &SimulationConfig::new(50, 8));
+        for wid in log.wids() {
+            let acts: Vec<&str> =
+                log.instance(wid).map(|r| r.activity().as_str()).collect();
+            if let Some(d) = acts.iter().position(|a| *a == "Disburse") {
+                let s = acts.iter().position(|a| *a == "SignContract").unwrap();
+                assert!(s < d);
+            }
+        }
+    }
+}

@@ -1,0 +1,14 @@
+//! Ready-made workflow models.
+//!
+//! * [`clinic`] — the paper's college-clinic referral process (Example 2).
+//! * [`order`] — order fulfillment with a parallel shipping/invoicing
+//!   block (exercises `⊕` queries).
+//! * [`loan`] — loan origination with nested exclusive choices (exercises
+//!   `⊗` queries).
+//! * [`helpdesk`] — ticketing with triage, a parallel diagnosis block and
+//!   escalation loops (every gateway type at once).
+
+pub mod clinic;
+pub mod helpdesk;
+pub mod loan;
+pub mod order;

@@ -1,0 +1,109 @@
+//! Order fulfillment with a parallel shipping/invoicing block.
+//!
+//! The AND gateway produces genuinely interleaved branch activities within
+//! one instance, the situation the parallel pattern `⊕` is designed to
+//! query ("was the order shipped and invoiced, in either order?").
+
+use crate::builder::ModelBuilder;
+use crate::data::DataEffect;
+use crate::model::WorkflowModel;
+
+/// Builds the order-fulfillment model:
+///
+/// ```text
+/// START → PlaceOrder → ⟨AND⟩ ┬→ PickItems → Ship      ─┐
+///                            └→ CreateInvoice → Collect ┴→ ⟨JOIN⟩ → CloseOrder → END
+/// ```
+#[must_use]
+pub fn model() -> WorkflowModel {
+    let mut b = ModelBuilder::new("order-fulfillment");
+    let end = b.end();
+    let close = b.task_io(
+        "CloseOrder",
+        ["orderId", "shipped", "paid"],
+        [("orderState", DataEffect::Const("closed".into()))],
+        end,
+    );
+    let join = b.and_join(close);
+
+    let ship = b.task_io(
+        "Ship",
+        ["orderId"],
+        [("shipped", DataEffect::Const(true.into()))],
+        join,
+    );
+    let pick = b.task_io("PickItems", ["orderId"], [], ship);
+
+    let collect = b.task_io(
+        "CollectPayment",
+        ["orderId", "amount"],
+        [("paid", DataEffect::Const(true.into()))],
+        join,
+    );
+    let invoice = b.task_io(
+        "CreateInvoice",
+        ["orderId"],
+        [("amount", DataEffect::UniformInt { lo: 10, hi: 900 })],
+        collect,
+    );
+
+    let split = b.and_split([pick, invoice], join);
+    let place = b.task_io(
+        "PlaceOrder",
+        [] as [&str; 0],
+        [
+            ("orderId", DataEffect::FreshId),
+            ("orderState", DataEffect::Const("open".into())),
+        ],
+        split,
+    );
+    b.build(place).expect("order model is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{simulate, SimulationConfig};
+
+    #[test]
+    fn both_branches_always_complete_before_close() {
+        let log = simulate(&model(), &SimulationConfig::new(25, 9));
+        for wid in log.wids() {
+            let acts: Vec<&str> =
+                log.instance(wid).map(|r| r.activity().as_str()).collect();
+            let pos = |name: &str| acts.iter().position(|a| *a == name).unwrap();
+            assert!(pos("Ship") < pos("CloseOrder"), "instance {wid:?}");
+            assert!(pos("CollectPayment") < pos("CloseOrder"), "instance {wid:?}");
+            assert!(pos("PickItems") < pos("Ship"));
+            assert!(pos("CreateInvoice") < pos("CollectPayment"));
+        }
+    }
+
+    #[test]
+    fn branch_orders_vary_across_seeds() {
+        let mut ship_first = 0;
+        let mut invoice_first = 0;
+        for seed in 0..30 {
+            let log = simulate(&model(), &SimulationConfig::new(1, seed));
+            let acts: Vec<&str> = log
+                .instance(wlq_log::Wid(1))
+                .map(|r| r.activity().as_str())
+                .collect();
+            let ship = acts.iter().position(|a| *a == "Ship").unwrap();
+            let invoice = acts.iter().position(|a| *a == "CreateInvoice").unwrap();
+            if ship < invoice {
+                ship_first += 1;
+            } else {
+                invoice_first += 1;
+            }
+        }
+        assert!(ship_first > 0 && invoice_first > 0, "no interleaving variety");
+    }
+
+    #[test]
+    fn every_instance_is_completed() {
+        let log = simulate(&model(), &SimulationConfig::new(10, 77));
+        assert!(log.wids().all(|w| log.is_completed(w)));
+        assert_eq!(log.num_instances(), 10);
+    }
+}

@@ -1,0 +1,256 @@
+//! End-to-end tests of the `wlq` command-line binary.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn wlq(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_wlq"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+fn stdout(output: &Output) -> String {
+    String::from_utf8_lossy(&output.stdout).into_owned()
+}
+
+fn stderr(output: &Output) -> String {
+    String::from_utf8_lossy(&output.stderr).into_owned()
+}
+
+fn temp_path(name: &str) -> PathBuf {
+    let mut path = std::env::temp_dir();
+    path.push(format!("wlq-cli-test-{}-{name}", std::process::id()));
+    path
+}
+
+#[test]
+fn help_lists_all_commands() {
+    let out = wlq(&["help"]);
+    assert!(out.status.success());
+    let text = stdout(&out);
+    for cmd in ["simulate", "stats", "validate", "query", "explain", "mine", "check", "convert", "dot"] {
+        assert!(text.contains(cmd), "help is missing {cmd}");
+    }
+}
+
+#[test]
+fn example_prints_figure3() {
+    let out = wlq(&["example"]);
+    assert!(out.status.success());
+    let text = stdout(&out);
+    assert!(text.contains("4 | 1 | 3 | CheckIn"));
+    assert_eq!(text.lines().count(), 21); // header + 20 records
+}
+
+#[test]
+fn unknown_command_fails_with_message() {
+    let out = wlq(&["frobnicate"]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("unknown command"));
+}
+
+#[test]
+fn simulate_stats_query_round_trip() {
+    let path = temp_path("clinic.csv");
+    let path_str = path.to_str().unwrap();
+
+    let out = wlq(&["simulate", "clinic", "25", "7", path_str]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(stdout(&out).contains("25 instances"));
+
+    let out = wlq(&["stats", path_str]);
+    assert!(out.status.success());
+    assert!(stdout(&out).contains("instances: 25"));
+
+    let out = wlq(&["validate", path_str]);
+    assert!(out.status.success());
+    assert!(stdout(&out).contains("valid log"));
+
+    let out = wlq(&["query", path_str, "GetRefer ~> CheckIn", "--count"]);
+    assert!(out.status.success());
+    assert_eq!(stdout(&out).trim(), "25");
+
+    let out = wlq(&["query", path_str, "GetRefer ~> CheckIn", "--exists"]);
+    assert_eq!(stdout(&out).trim(), "true");
+
+    let out = wlq(&["query", path_str, "CompleteRefer -> GetRefer", "--exists"]);
+    assert_eq!(stdout(&out).trim(), "false");
+
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn query_flags_and_modes() {
+    let path = temp_path("loan.bin");
+    let path_str = path.to_str().unwrap();
+    let out = wlq(&["simulate", "loan", "10", "3", path_str]);
+    assert!(out.status.success(), "{}", stderr(&out));
+
+    // All strategy/optimize/thread combinations agree on the count.
+    let baseline = stdout(&wlq(&["query", path_str, "Submit -> CheckCredit", "--count"]));
+    for flags in [
+        vec!["--count", "--naive"],
+        vec!["--count", "--no-optimize"],
+        vec!["--count", "--threads", "3"],
+    ] {
+        let mut args = vec!["query", path_str, "Submit -> CheckCredit"];
+        args.extend(flags);
+        let out = wlq(&args);
+        assert!(out.status.success());
+        assert_eq!(stdout(&out), baseline);
+    }
+
+    let out = wlq(&["query", path_str, "Submit", "--by-instance"]);
+    assert!(out.status.success());
+    assert_eq!(stdout(&out).lines().count(), 10);
+
+    let out = wlq(&["query", path_str, "Submit ->", "--count"]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("bad pattern"));
+
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn explain_and_mine_render_reports() {
+    let path = temp_path("order.txt");
+    let path_str = path.to_str().unwrap();
+    assert!(wlq(&["simulate", "order", "12", "9", path_str]).status.success());
+
+    let out = wlq(&["explain", path_str, "PlaceOrder -> (Ship & CollectPayment)"]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("plan :"));
+    assert!(text.contains("total:"));
+
+    let out = wlq(&["mine", path_str, "12"]);
+    assert!(out.status.success());
+    let text = stdout(&out);
+    // Every instance places then closes an order.
+    assert!(text.contains("PlaceOrder"), "{text}");
+
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn check_detects_conforming_and_violating_logs() {
+    let path = temp_path("conform.csv");
+    let path_str = path.to_str().unwrap();
+    assert!(wlq(&["simulate", "order", "6", "2", path_str]).status.success());
+
+    let out = wlq(&["check", "order", path_str]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(stdout(&out).contains("log conforms"));
+
+    // The clinic model does not accept order-fulfillment traces.
+    let out = wlq(&["check", "clinic", path_str]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("violate"));
+
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn convert_round_trips_across_formats() {
+    let text_path = temp_path("conv.txt");
+    let csv_path = temp_path("conv.csv");
+    let bin_path = temp_path("conv.bin");
+    let xes_path = temp_path("conv.xes");
+    let (t, c, b, x) = (
+        text_path.to_str().unwrap(),
+        csv_path.to_str().unwrap(),
+        bin_path.to_str().unwrap(),
+        xes_path.to_str().unwrap(),
+    );
+    assert!(wlq(&["simulate", "clinic", "8", "4", t]).status.success());
+    assert!(wlq(&["convert", t, c]).status.success());
+    assert!(wlq(&["convert", c, b]).status.success());
+    assert!(wlq(&["convert", b, x]).status.success());
+
+    // Round-tripped stats agree across all four formats.
+    let s1 = stdout(&wlq(&["stats", t]));
+    let s3 = stdout(&wlq(&["stats", b]));
+    let s4 = stdout(&wlq(&["stats", x]));
+    assert_eq!(s1, s3);
+    assert_eq!(s1, s4);
+    assert!(std::fs::read_to_string(&xes_path).unwrap().contains("<trace>"));
+
+    for path in [text_path, csv_path, bin_path, xes_path] {
+        std::fs::remove_file(path).ok();
+    }
+}
+
+#[test]
+fn dot_outputs_graphviz() {
+    let out = wlq(&["dot", "loan"]);
+    assert!(out.status.success());
+    let text = stdout(&out);
+    assert!(text.starts_with("digraph"));
+    assert!(text.contains("ManualReview"));
+
+    let out = wlq(&["dot", "nope"]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("unknown scenario"));
+}
+
+#[test]
+fn audit_runs_builtin_and_custom_rule_files() {
+    let log_path = temp_path("audit.csv");
+    let rules_path = temp_path("audit.rules");
+    let (l, r) = (log_path.to_str().unwrap(), rules_path.to_str().unwrap());
+    assert!(wlq(&["simulate", "clinic", "60", "11", l]).status.success());
+
+    // Built-in battery.
+    let out = wlq(&["audit", l]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("update-before-reimburse"));
+    assert!(text.contains("flagged instances:"));
+
+    // Custom rules file.
+    std::fs::write(
+        &rules_path,
+        "visits := SeeDoctor # any visit\nupdated-twice := UpdateRefer -> UpdateRefer\n",
+    )
+    .unwrap();
+    let out = wlq(&["audit", l, r]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(stdout(&out).contains("visits"));
+
+    // Broken rules file is rejected with a line number.
+    std::fs::write(&rules_path, "oops\n").unwrap();
+    let out = wlq(&["audit", l, r]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("line 1"));
+
+    std::fs::remove_file(&log_path).ok();
+    std::fs::remove_file(&rules_path).ok();
+}
+
+#[test]
+fn timeline_and_spans_commands() {
+    let path = temp_path("timeline.csv");
+    let p = path.to_str().unwrap();
+    assert!(wlq(&["simulate", "clinic", "30", "6", p]).status.success());
+
+    let out = wlq(&["timeline", p, "UpdateRefer -> GetReimburse", "50"]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("up to lsn"));
+    assert!(text.lines().count() >= 3);
+
+    // Default step (a tenth of the log) also works.
+    let out = wlq(&["timeline", p, "SeeDoctor"]);
+    assert!(out.status.success());
+
+    let out = wlq(&["spans", p, "GetRefer -> GetReimburse"]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(stdout(&out).contains("span min"));
+
+    let out = wlq(&["spans", p, "NoSuchActivity"]);
+    assert!(out.status.success());
+    assert_eq!(stdout(&out).trim(), "no incidents");
+
+    std::fs::remove_file(&path).ok();
+}

@@ -1,0 +1,140 @@
+//! Streaming (incremental) evaluation equals batch evaluation —
+//! property-tested over random logs and patterns, plus scenario replays.
+
+use proptest::prelude::{prop, prop_assert, prop_assert_eq, prop_oneof, proptest, ProptestConfig, Strategy};
+
+use wlq::prelude::*;
+use wlq::{attrs, scenarios, LogBuilder, Strategy as EvalStrategy};
+
+const ALPHABET: [&str; 3] = ["A", "B", "C"];
+
+fn arb_pattern() -> impl Strategy<Value = Pattern> {
+    let leaf = prop_oneof![
+        4 => (0..ALPHABET.len()).prop_map(|i| Pattern::atom(ALPHABET[i])),
+        1 => (0..ALPHABET.len()).prop_map(|i| Pattern::not_atom(ALPHABET[i])),
+    ];
+    leaf.prop_recursive(3, 8, 2, |inner| {
+        (0..4u8, inner.clone(), inner).prop_map(|(op, l, r)| {
+            let op = match op {
+                0 => Op::Consecutive,
+                1 => Op::Sequential,
+                2 => Op::Choice,
+                _ => Op::Parallel,
+            };
+            Pattern::binary(op, l, r)
+        })
+    })
+}
+
+fn arb_log() -> impl Strategy<Value = Log> {
+    prop::collection::vec(prop::collection::vec(0..ALPHABET.len(), 0..7), 1..4).prop_map(
+        |instances| {
+            let mut b = LogBuilder::new();
+            let wids: Vec<_> = instances.iter().map(|_| b.start_instance()).collect();
+            let longest = instances.iter().map(Vec::len).max().unwrap_or(0);
+            for step in 0..longest {
+                for (i, acts) in instances.iter().enumerate() {
+                    if let Some(&a) = acts.get(step) {
+                        b.append(wids[i], ALPHABET[a], attrs! {}, attrs! {}).unwrap();
+                    }
+                }
+            }
+            b.build().unwrap()
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(160))]
+
+    /// Replaying a log record-by-record accumulates exactly the batch
+    /// incident set, and the per-append deltas partition it.
+    #[test]
+    fn streaming_equals_batch(log in arb_log(), p in arb_pattern()) {
+        let mut stream = StreamingEvaluator::new(p.clone());
+        let mut delta_union = IncidentSet::new();
+        for record in log.iter() {
+            for incident in stream.append(record).unwrap() {
+                // Deltas are disjoint: nothing is reported twice.
+                prop_assert!(delta_union.insert(incident));
+            }
+        }
+        let batch = Evaluator::new(&log).evaluate(&p);
+        prop_assert_eq!(stream.incidents(), batch.clone());
+        prop_assert_eq!(delta_union, batch);
+    }
+
+    /// Both strategies drive the streaming evaluator identically.
+    #[test]
+    fn streaming_strategies_agree(log in arb_log(), p in arb_pattern()) {
+        let mut a = StreamingEvaluator::with_strategy(p.clone(), EvalStrategy::NaivePaper);
+        let mut b = StreamingEvaluator::with_strategy(p, EvalStrategy::Optimized);
+        for record in log.iter() {
+            let da = a.append(record).unwrap();
+            let db = b.append(record).unwrap();
+            prop_assert_eq!(da, db);
+        }
+        prop_assert_eq!(a.incidents(), b.incidents());
+    }
+}
+
+#[test]
+fn streaming_matches_batch_on_scenarios() {
+    for (model, seed) in [
+        (scenarios::clinic::model(), 31),
+        (scenarios::order::model(), 32),
+        (scenarios::loan::model(), 33),
+    ] {
+        let log = simulate(&model, &SimulationConfig::new(40, seed));
+        let patterns = [
+            "START -> END",
+            "!START ~> !END",
+            "START ~> !END",
+        ];
+        for src in patterns {
+            let p: Pattern = src.parse().unwrap();
+            let mut stream = StreamingEvaluator::new(p.clone());
+            for record in log.iter() {
+                stream.append(record).unwrap();
+            }
+            let batch = Evaluator::new(&log).evaluate(&p);
+            assert_eq!(stream.incidents(), batch, "{} on {}", src, model.name());
+        }
+    }
+}
+
+#[test]
+fn monitors_fire_exactly_once_per_incident() {
+    let log = simulate(&scenarios::clinic::model(), &SimulationConfig::new(100, 55));
+    let p: Pattern = "UpdateRefer -> GetReimburse".parse().unwrap();
+    let mut stream = StreamingEvaluator::new(p.clone());
+    let mut fired = 0usize;
+    for record in log.iter() {
+        fired += stream.append(record).unwrap().len();
+    }
+    assert_eq!(fired, Evaluator::new(&log).evaluate(&p).len());
+}
+
+#[test]
+fn shared_evaluator_supports_concurrent_instances() {
+    let log = simulate(&scenarios::order::model(), &SimulationConfig::new(24, 8));
+    let shared = wlq::SharedStreamingEvaluator::new("Ship & CollectPayment".parse().unwrap());
+    crossbeam_scope(&log, &shared);
+    let batch = Evaluator::new(&log).evaluate(&"Ship & CollectPayment".parse().unwrap());
+    assert_eq!(shared.incidents(), batch);
+}
+
+/// Appends each instance's records from its own thread (per-instance order
+/// is all the streaming evaluator requires).
+fn crossbeam_scope(log: &Log, shared: &wlq::SharedStreamingEvaluator) {
+    std::thread::scope(|scope| {
+        for wid in log.wids() {
+            let records: Vec<_> = log.instance(wid).cloned().collect();
+            scope.spawn(move || {
+                for r in records {
+                    shared.append(&r).unwrap();
+                }
+            });
+        }
+    });
+}
