@@ -1,0 +1,209 @@
+//! Flat arena-backed kernels vs the incident-list operators.
+//!
+//! Two levels of comparison:
+//!
+//! * **Kernels** — `optimized::*_eval` over `Vec<Incident>` against
+//!   [`wlq_engine::combine_batch_into`] over prebuilt [`IncidentBatch`]
+//!   inputs with a recycled output batch (exactly how the evaluator
+//!   drives the kernels). The join workloads (⊙/→) are the ones the
+//!   flat layout targets: unions become bump-appends into the shared
+//!   position pool and no per-incident `Vec` is ever allocated.
+//! * **End to end** — `Evaluator` with `Strategy::Optimized` vs
+//!   `Strategy::Batch` on adversarial pair logs, where the batch path
+//!   keeps the flat representation through the whole pattern tree.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use wlq_engine::{combine_batch_into, optimized, Evaluator, Incident, IncidentBatch, Strategy};
+use wlq_log::{IsLsn, Wid};
+use wlq_pattern::{Op, Pattern};
+use wlq_workflow::generator;
+
+const WID: Wid = Wid(1);
+
+/// Singleton incidents at `start, start + step, …` (`n` of them).
+fn singletons(start: u32, step: u32, n: u32) -> Vec<Incident> {
+    (0..n)
+        .map(|i| Incident::singleton(WID, IsLsn(start + i * step)))
+        .collect()
+}
+
+/// Width-2 incidents `{p, p + 1}` for `p = start, start + step, …`.
+fn pairs(start: u32, step: u32, n: u32) -> Vec<Incident> {
+    (0..n)
+        .map(|i| {
+            let p = start + i * step;
+            Incident::from_positions(WID, vec![IsLsn(p), IsLsn(p + 1)])
+        })
+        .collect()
+}
+
+fn batch_of(incidents: &[Incident]) -> IncidentBatch {
+    IncidentBatch::from_incidents(WID, incidents)
+}
+
+/// Benchmark one operator on one fixture pair, list vs flat.
+fn bench_kernel_case(
+    group: &mut criterion::BenchmarkGroup<'_>,
+    op: Op,
+    name: &str,
+    left: &[Incident],
+    right: &[Incident],
+) {
+    let eval = match op {
+        Op::Consecutive => optimized::consecutive_eval,
+        Op::Sequential => optimized::sequential_eval,
+        Op::Choice => optimized::choice_eval,
+        Op::Parallel => optimized::parallel_eval,
+    };
+    group.bench_with_input(BenchmarkId::new("lists", name), &(), |b, ()| {
+        b.iter(|| black_box(eval(left, right)));
+    });
+    let (lb, rb) = (batch_of(left), batch_of(right));
+    let mut out = IncidentBatch::new(WID);
+    group.bench_with_input(BenchmarkId::new("batch", name), &(), |b, ()| {
+        b.iter(|| {
+            combine_batch_into(op, &lb, &rb, &mut out);
+            black_box(out.len())
+        });
+    });
+}
+
+/// ⊙: every left incident chains into exactly one right incident.
+fn bench_consecutive(c: &mut Criterion) {
+    let mut group = c.benchmark_group("batch_consecutive");
+    group.sample_size(10);
+    for n in [256u32, 1024, 4096] {
+        let left = singletons(0, 2, n);
+        let right = singletons(1, 2, n);
+        bench_kernel_case(
+            &mut group,
+            Op::Consecutive,
+            &format!("dense_{n}"),
+            &left,
+            &right,
+        );
+    }
+    group.finish();
+}
+
+/// →: all-pairs join, the quadratic worst case (~n²/2 output incidents).
+fn bench_sequential(c: &mut Criterion) {
+    let mut group = c.benchmark_group("batch_sequential");
+    group.sample_size(10);
+    for n in [64u32, 128, 256] {
+        let left = singletons(0, 2, n);
+        let right = singletons(1, 2, n);
+        bench_kernel_case(
+            &mut group,
+            Op::Sequential,
+            &format!("allpairs_{n}"),
+            &left,
+            &right,
+        );
+        let left = pairs(0, 4, n);
+        let right = pairs(2, 4, n);
+        bench_kernel_case(
+            &mut group,
+            Op::Sequential,
+            &format!("width2_{n}"),
+            &left,
+            &right,
+        );
+    }
+    group.finish();
+}
+
+/// ⊗: interleaved union — already linear on both paths.
+fn bench_choice(c: &mut Criterion) {
+    let mut group = c.benchmark_group("batch_choice");
+    group.sample_size(10);
+    for n in [1024u32, 4096] {
+        let left = singletons(0, 2, n);
+        let right = singletons(1, 2, n);
+        bench_kernel_case(
+            &mut group,
+            Op::Choice,
+            &format!("interleaved_{n}"),
+            &left,
+            &right,
+        );
+    }
+    group.finish();
+}
+
+/// ⊕: disjoint all-pairs unions (the concat fast path) at modest sizes.
+fn bench_parallel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("batch_parallel");
+    group.sample_size(10);
+    for n in [64u32, 128] {
+        let left = pairs(0, 4, n);
+        let right = pairs(2, 4, n);
+        bench_kernel_case(
+            &mut group,
+            Op::Parallel,
+            &format!("disjoint_{n}"),
+            &left,
+            &right,
+        );
+    }
+    group.finish();
+}
+
+/// Whole-evaluator comparison on adversarial pair logs.
+fn bench_end_to_end(c: &mut Criterion) {
+    let mut group = c.benchmark_group("batch_end_to_end");
+    group.sample_size(10);
+    for n in [500usize, 2000] {
+        let log = generator::pair_log("A", n, "B", n, true);
+        for (name, src) in [("consecutive", "A ~> B"), ("sequential", "A -> B")] {
+            let p: Pattern = src.parse().unwrap();
+            group.bench_with_input(
+                BenchmarkId::new(format!("optimized_{name}"), n),
+                &p,
+                |b, p| {
+                    let eval = Evaluator::with_strategy(&log, Strategy::Optimized);
+                    b.iter(|| black_box(eval.evaluate(p)));
+                },
+            );
+            group.bench_with_input(BenchmarkId::new(format!("batch_{name}"), n), &p, |b, p| {
+                let eval = Evaluator::with_strategy(&log, Strategy::Batch);
+                b.iter(|| black_box(eval.evaluate(p)));
+            });
+        }
+    }
+    group.finish();
+}
+
+/// Counting queries: the batch path counts refs without ever
+/// materialising an incident, while the classic path must build every
+/// `Vec<Incident>` first.
+fn bench_end_to_end_count(c: &mut Criterion) {
+    let mut group = c.benchmark_group("batch_count");
+    group.sample_size(10);
+    for n in [500usize, 2000] {
+        let log = generator::pair_log("A", n, "B", n, true);
+        let p: Pattern = "A -> B".parse().unwrap();
+        group.bench_with_input(BenchmarkId::new("optimized_sequential", n), &p, |b, p| {
+            let eval = Evaluator::with_strategy(&log, Strategy::Optimized);
+            b.iter(|| black_box(eval.count(p)));
+        });
+        group.bench_with_input(BenchmarkId::new("batch_sequential", n), &p, |b, p| {
+            let eval = Evaluator::with_strategy(&log, Strategy::Batch);
+            b.iter(|| black_box(eval.count(p)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_consecutive,
+    bench_sequential,
+    bench_choice,
+    bench_parallel,
+    bench_end_to_end,
+    bench_end_to_end_count
+);
+criterion_main!(benches);

@@ -51,5 +51,9 @@ fn bench_adversarial_consecutive(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_clinic_patterns, bench_adversarial_consecutive);
+criterion_group!(
+    benches,
+    bench_clinic_patterns,
+    bench_adversarial_consecutive
+);
 criterion_main!(benches);

@@ -19,7 +19,10 @@ fn bench_rewrites(c: &mut Criterion) {
 
     let cases = [
         ("skewed_chain", "T0 -> T1 -> T5 -> T6"),
-        ("shared_prefix_choice", "(T0 -> T1 -> T6) | (T0 -> T1 -> T7)"),
+        (
+            "shared_prefix_choice",
+            "(T0 -> T1 -> T6) | (T0 -> T1 -> T7)",
+        ),
         ("parallel_choice", "(T0 & T6) | (T0 & T7)"),
         ("commutative_chain", "T0 & T1 & T6"),
     ];

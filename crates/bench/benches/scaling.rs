@@ -11,7 +11,9 @@ use wlq_workflow::{scenarios, simulate, SimulationConfig};
 fn bench_log_size(c: &mut Criterion) {
     let mut group = c.benchmark_group("e10_log_size");
     group.sample_size(10);
-    let p: Pattern = "SeeDoctor -> (UpdateRefer -> GetReimburse)".parse().unwrap();
+    let p: Pattern = "SeeDoctor -> (UpdateRefer -> GetReimburse)"
+        .parse()
+        .unwrap();
     for instances in [100usize, 400, 1600] {
         let log = simulate(
             &scenarios::clinic::model(),

@@ -44,11 +44,9 @@ fn bench_monitoring(c: &mut Criterion) {
             &scenarios::clinic::model(),
             &SimulationConfig::new(instances, 5),
         );
-        group.bench_with_input(
-            BenchmarkId::new("streaming", instances),
-            &log,
-            |b, log| b.iter(|| black_box(replay_streaming(log, &pattern))),
-        );
+        group.bench_with_input(BenchmarkId::new("streaming", instances), &log, |b, log| {
+            b.iter(|| black_box(replay_streaming(log, &pattern)))
+        });
         group.bench_with_input(
             BenchmarkId::new("batch_per_append", instances),
             &log,

@@ -17,9 +17,7 @@ use wlq_bench::{
     common_tail_incidents, fmt_us, loglog_slope, shared_prefix_incidents, singleton_incidents,
     time_median,
 };
-use wlq_engine::{
-    naive, optimized, Evaluator, IncidentTree, Query, Strategy,
-};
+use wlq_engine::{naive, optimized, Evaluator, IncidentTree, Query, Strategy};
 use wlq_log::{paper, Log, LogIndex, LogStats, Lsn};
 use wlq_pattern::{theorem1_worst_case, Optimizer, Pattern};
 use wlq_workflow::{generator, scenarios, simulate, SimulationConfig};
@@ -78,8 +76,15 @@ fn e12_warehouse() {
         "E12",
         "baseline: ETL + warehouse (paper's Figure 1) vs direct log querying (Figure 2)",
     );
-    let log = simulate(&scenarios::clinic::model(), &SimulationConfig::new(2000, 17));
-    println!("log: {} records, {} instances\n", log.len(), log.num_instances());
+    let log = simulate(
+        &scenarios::clinic::model(),
+        &SimulationConfig::new(2000, 17),
+    );
+    println!(
+        "log: {} records, {} instances\n",
+        log.len(),
+        log.num_instances()
+    );
 
     // Pipeline setup costs.
     let t_etl = time_median(3, || {
@@ -88,7 +93,11 @@ fn e12_warehouse() {
     let t_index = time_median(3, || {
         std::hint::black_box(Evaluator::new(&log));
     });
-    println!("setup: ETL (facts + 1 column) {} µs, WLQ index {} µs", fmt_us(t_etl), fmt_us(t_index));
+    println!(
+        "setup: ETL (facts + 1 column) {} µs, WLQ index {} µs",
+        fmt_us(t_etl),
+        fmt_us(t_index)
+    );
 
     // Per-query cost on the anomaly query.
     let warehouse = Warehouse::etl(&log, &["balance"]);
@@ -119,10 +128,12 @@ fn e12_warehouse() {
     assert!(warehouse.instances_with_attr_over("receipt", 4500).is_err());
     let t_re_etl = time_median(3, || {
         let wide = Warehouse::etl(&log, &["balance", "receipt"]);
-        std::hint::black_box(wide.instances_with_attr_over("receipt", 4500).expect("extracted"));
+        std::hint::black_box(
+            wide.instances_with_attr_over("receipt", 4500)
+                .expect("extracted"),
+        );
     });
-    let receipt_pattern: Pattern =
-        "PayTreatment[out.receipt > 4500]".parse().expect("parses");
+    let receipt_pattern: Pattern = "PayTreatment[out.receipt > 4500]".parse().expect("parses");
     let t_direct = time_median(3, || {
         std::hint::black_box(evaluator.count(&receipt_pattern));
     });
@@ -130,7 +141,10 @@ fn e12_warehouse() {
         "  warehouse: column missing → re-ETL + query = {} µs",
         fmt_us(t_re_etl)
     );
-    println!("  WLQ      : ad hoc predicate query        = {} µs", fmt_us(t_direct));
+    println!(
+        "  WLQ      : ad hoc predicate query        = {} µs",
+        fmt_us(t_direct)
+    );
     println!(
         "\nreading: per-query costs are comparable once both sides are set up; the\n\
          warehouse pays a full re-ETL whenever an analysis needs data it didn't\n\
@@ -190,7 +204,10 @@ fn heading(id: &str, title: &str) {
 
 /// E1: Figure 3 and Example 1.
 fn e1_figure3() {
-    heading("E1", "Figure 3: the clinic referral log, and Example 1 (record l4)");
+    heading(
+        "E1",
+        "Figure 3: the clinic referral log, and Example 1 (record l4)",
+    );
     let log = paper::figure3_log();
     print!("{log}");
     let l4 = log.get(Lsn(4)).expect("l4 exists");
@@ -208,7 +225,10 @@ fn e1_figure3() {
 
 /// E2: Figure 4 / Examples 3 and 5 — the incident tree and its trace.
 fn e2_incident_tree() {
-    heading("E2", "Figure 4 + Examples 3/5: incident tree evaluation trace");
+    heading(
+        "E2",
+        "Figure 4 + Examples 3/5: incident tree evaluation trace",
+    );
     let log = paper::figure3_log();
     let index = LogIndex::build(&log);
 
@@ -216,8 +236,13 @@ fn e2_incident_tree() {
     let set = Evaluator::new(&log).evaluate(&simple);
     println!("Example 3: incL({simple}) = {set}   (the paper's {{l14, l20}})");
 
-    let p: Pattern = "SeeDoctor -> (UpdateRefer -> GetReimburse)".parse().expect("parses");
-    println!("\nincident tree of {p} (postfix: {:?})", postfix_strings(&p));
+    let p: Pattern = "SeeDoctor -> (UpdateRefer -> GetReimburse)"
+        .parse()
+        .expect("parses");
+    println!(
+        "\nincident tree of {p} (postfix: {:?})",
+        postfix_strings(&p)
+    );
     let tree = IncidentTree::from_pattern(&p);
     let (set, trace) = tree.evaluate_traced(&log, &index, Strategy::Optimized);
     println!("{trace}");
@@ -225,7 +250,12 @@ fn e2_incident_tree() {
     let lsns: Vec<String> = incident
         .positions()
         .iter()
-        .map(|&pos| format!("l{}", log.record(incident.wid(), pos).expect("exists").lsn()))
+        .map(|&pos| {
+            format!(
+                "l{}",
+                log.record(incident.wid(), pos).expect("exists").lsn()
+            )
+        })
         .collect();
     println!(
         "root incident = {{{}}} — matches Example 5's {{l13, l14, l20}}; Example 3's printed\n\
@@ -235,7 +265,10 @@ fn e2_incident_tree() {
 }
 
 fn postfix_strings(p: &Pattern) -> Vec<String> {
-    wlq_pattern::to_postfix(p).iter().map(ToString::to_string).collect()
+    wlq_pattern::to_postfix(p)
+        .iter()
+        .map(ToString::to_string)
+        .collect()
 }
 
 /// Sweeps an operator over equal-size inputs and prints time vs n.
@@ -258,12 +291,18 @@ fn operator_sweep(
         println!("{:>8} {:>14} {:>12}", n, fmt_us(t), out_len);
         points.push((n as f64, t.as_secs_f64()));
     }
-    println!("log-log slope of time vs n: {:.2} (expected ≈ 2 for O(n1·n2))\n", loglog_slope(&points));
+    println!(
+        "log-log slope of time vs n: {:.2} (expected ≈ 2 for O(n1·n2))\n",
+        loglog_slope(&points)
+    );
 }
 
 /// E3: Lemma 1, consecutive operator.
 fn e3_consecutive_scaling() {
-    heading("E3", "Lemma 1 ⊙ (consecutive): time O(n1·n2), |out| ≤ n1·n2");
+    heading(
+        "E3",
+        "Lemma 1 ⊙ (consecutive): time O(n1·n2), |out| ≤ n1·n2",
+    );
     operator_sweep(
         "consecutive (naive, Algorithm 1)",
         "O(n1·n2)",
@@ -297,10 +336,16 @@ fn e4_sequential_scaling() {
 
 /// E5: Lemma 1, choice operator — time vs incident width k.
 fn e5_choice_scaling() {
-    heading("E5", "Lemma 1 ⊗ (choice): time O(n1·n2·min(k1,k2)) for the printed algorithm");
+    heading(
+        "E5",
+        "Lemma 1 ⊗ (choice): time O(n1·n2·min(k1,k2)) for the printed algorithm",
+    );
     let n = 256;
     println!("fixed n1 = n2 = {n}; sweeping incident width k");
-    println!("{:>8} {:>22} {:>22}", "k", "printed variant (µs)", "union semantics (µs)");
+    println!(
+        "{:>8} {:>22} {:>22}",
+        "k", "printed variant (µs)", "union semantics (µs)"
+    );
     let mut pts_printed = Vec::new();
     for &k in &[2usize, 4, 8, 16, 32] {
         // Shared-prefix incidents: every pairwise equality comparison must
@@ -409,7 +454,10 @@ fn binomial(n: usize, k: usize) -> usize {
 
 /// E8: the paper's Algorithm 1 vs the optimized operators.
 fn e8_naive_vs_optimized() {
-    heading("E8", "ablation: Algorithm 1 (naive) vs index/merge-based operators");
+    heading(
+        "E8",
+        "ablation: Algorithm 1 (naive) vs index/merge-based operators",
+    );
     println!(
         "{:<44} {:>12} {:>12} {:>8}",
         "workload / pattern", "naive (µs)", "opt (µs)", "speedup"
@@ -426,14 +474,22 @@ fn e8_naive_vs_optimized() {
     rows.push(run_both(&long, "T0 -> T1", "uniform 1×5000, |T| = 100"));
     // Selective sequential.
     let clinic = simulate(&scenarios::clinic::model(), &SimulationConfig::new(800, 5));
-    rows.push(run_both(&clinic, "UpdateRefer -> GetReimburse", "clinic 800 inst"));
+    rows.push(run_both(
+        &clinic,
+        "UpdateRefer -> GetReimburse",
+        "clinic 800 inst",
+    ));
     rows.push(run_both(&clinic, "GetRefer ~> CheckIn", "clinic 800 inst"));
     rows.push(run_both(
         &clinic,
         "SeeDoctor -> PayTreatment -> GetReimburse",
         "clinic 800 inst",
     ));
-    rows.push(run_both(&clinic, "UpdateRefer | CompleteRefer", "clinic 800 inst"));
+    rows.push(run_both(
+        &clinic,
+        "UpdateRefer | CompleteRefer",
+        "clinic 800 inst",
+    ));
 
     for (label, t_naive, t_opt) in rows {
         println!(
@@ -471,7 +527,11 @@ fn run_both(log: &Log, pattern: &str, workload: &str) -> (String, Duration, Dura
     let p: Pattern = pattern.parse().expect("parses");
     let naive_eval = Evaluator::with_strategy(log, Strategy::NaivePaper);
     let opt_eval = Evaluator::with_strategy(log, Strategy::Optimized);
-    assert_eq!(naive_eval.evaluate(&p), opt_eval.evaluate(&p), "strategies disagree");
+    assert_eq!(
+        naive_eval.evaluate(&p),
+        opt_eval.evaluate(&p),
+        "strategies disagree"
+    );
     let t_naive = time_median(3, || {
         std::hint::black_box(naive_eval.evaluate(&p));
     });
@@ -483,7 +543,10 @@ fn run_both(log: &Log, pattern: &str, workload: &str) -> (String, Duration, Dura
 
 /// E9: the algebraic optimizer (Theorems 2–5 as rewrites).
 fn e9_rewrite_ablation() {
-    heading("E9", "ablation: algebraic rewriting (chain DP, choice factoring, ⊕/⊗ ordering)");
+    heading(
+        "E9",
+        "ablation: algebraic rewriting (chain DP, choice factoring, ⊕/⊗ ordering)",
+    );
     let log = generator::skewed_log(40, 120, 8, 7);
     let stats = LogStats::compute(&log);
     let optimizer = Optimizer::new(stats);
@@ -505,7 +568,11 @@ fn e9_rewrite_ablation() {
     for src in cases {
         let p: Pattern = src.parse().expect("parses");
         let (rewritten, _) = optimizer.optimize_with_report(&p);
-        assert_eq!(eval.evaluate(&p), eval.evaluate(&rewritten), "rewrite broke {src}");
+        assert_eq!(
+            eval.evaluate(&p),
+            eval.evaluate(&rewritten),
+            "rewrite broke {src}"
+        );
         let t_raw = time_median(3, || {
             std::hint::black_box(eval.evaluate(&p));
         });
@@ -526,12 +593,20 @@ fn e9_rewrite_ablation() {
 
 /// E10: log-size and thread scaling of evaluation.
 fn e10_parallel_scaling() {
-    heading("E10", "scaling: log size and per-instance parallel evaluation");
+    heading(
+        "E10",
+        "scaling: log size and per-instance parallel evaluation",
+    );
 
     // Part 1: log-size scaling on the clinic scenario (index prebuilt).
-    let pattern: Pattern = "SeeDoctor -> (UpdateRefer -> GetReimburse)".parse().expect("parses");
+    let pattern: Pattern = "SeeDoctor -> (UpdateRefer -> GetReimburse)"
+        .parse()
+        .expect("parses");
     println!("part 1 — log size (clinic scenario, 1 thread):");
-    println!("{:>10} {:>10} {:>14} {:>12}", "instances", "records", "eval (µs)", "|inc|");
+    println!(
+        "{:>10} {:>10} {:>14} {:>12}",
+        "instances", "records", "eval (µs)", "|inc|"
+    );
     for &instances in &[100usize, 400, 1600, 6400] {
         let log = simulate(
             &scenarios::clinic::model(),
@@ -542,7 +617,13 @@ fn e10_parallel_scaling() {
         let t = time_median(3, || {
             count = eval.evaluate(&pattern).len();
         });
-        println!("{:>10} {:>10} {:>14} {:>12}", instances, log.len(), fmt_us(t), count);
+        println!(
+            "{:>10} {:>10} {:>14} {:>12}",
+            instances,
+            log.len(),
+            fmt_us(t),
+            count
+        );
     }
 
     // Part 2: thread scaling on a compute-bound workload — Algorithm 1's
@@ -577,7 +658,10 @@ fn e10_parallel_scaling() {
     }
 
     // Part 3: the Query facade with plan + evaluation timing.
-    let log = simulate(&scenarios::clinic::model(), &SimulationConfig::new(1600, 11));
+    let log = simulate(
+        &scenarios::clinic::model(),
+        &SimulationConfig::new(1600, 11),
+    );
     let profile = Query::new(pattern).threads(4).profile(&log);
     println!("\nQuery::profile on 1600 clinic instances:\n{profile}");
 }

@@ -34,8 +34,9 @@ pub fn overlapping_incidents(n: usize, k: usize) -> Vec<Incident> {
     let n_u32 = n as u32;
     (0..n as u32)
         .map(|j| {
-            let positions: Vec<IsLsn> =
-                (0..k as u32).map(|row| IsLsn(1 + j + row * n_u32)).collect();
+            let positions: Vec<IsLsn> = (0..k as u32)
+                .map(|row| IsLsn(1 + j + row * n_u32))
+                .collect();
             Incident::from_positions(Wid(1), positions)
         })
         .collect()
@@ -78,8 +79,9 @@ pub fn common_tail_incidents(n: usize, k: usize) -> Vec<Incident> {
     let sentinel = IsLsn(1 + n_u32 * k as u32 + 1);
     (0..n as u32)
         .map(|j| {
-            let mut positions: Vec<IsLsn> =
-                (0..k as u32 - 1).map(|row| IsLsn(1 + j + row * n_u32)).collect();
+            let mut positions: Vec<IsLsn> = (0..k as u32 - 1)
+                .map(|row| IsLsn(1 + j + row * n_u32))
+                .collect();
             positions.push(sentinel);
             Incident::from_positions(Wid(1), positions)
         })
@@ -181,8 +183,7 @@ mod tests {
 
     #[test]
     fn loglog_slope_recovers_exponents() {
-        let quadratic: Vec<(f64, f64)> =
-            (1..=6).map(|i| (i as f64, (i * i) as f64)).collect();
+        let quadratic: Vec<(f64, f64)> = (1..=6).map(|i| (i as f64, (i * i) as f64)).collect();
         assert!((loglog_slope(&quadratic) - 2.0).abs() < 1e-9);
         let linear: Vec<(f64, f64)> = (1..=6).map(|i| (i as f64, 3.0 * i as f64)).collect();
         assert!((loglog_slope(&linear) - 1.0).abs() < 1e-9);

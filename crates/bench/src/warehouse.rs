@@ -53,7 +53,11 @@ impl Warehouse {
             }
         }
         facts.sort_unstable_by_key(|&(wid, islsn, act)| (act, wid, islsn));
-        Warehouse { facts, dictionary, columns }
+        Warehouse {
+            facts,
+            dictionary,
+            columns,
+        }
     }
 
     /// Whether `attr` was extracted at ETL time.
@@ -94,8 +98,7 @@ impl Warehouse {
                     let end_b = rows_b[j..].partition_point(|r| r.0 == wid) + j;
                     // For each a-position, count b-positions after it.
                     for &(_, pa, _) in &rows_a[i..end_a] {
-                        let first_after =
-                            rows_b[j..end_b].partition_point(|r| r.1 <= pa) + j;
+                        let first_after = rows_b[j..end_b].partition_point(|r| r.1 <= pa) + j;
                         count += end_b - first_after;
                     }
                     i = end_a;

@@ -144,13 +144,19 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
     let instances: usize = instances
         .parse()
         .map_err(|_| format!("instances must be a number, got {instances:?}"))?;
-    let seed: u64 = seed.parse().map_err(|_| format!("seed must be a number, got {seed:?}"))?;
+    let seed: u64 = seed
+        .parse()
+        .map_err(|_| format!("seed must be a number, got {seed:?}"))?;
     let log = simulate(&model, &SimulationConfig::new(instances, seed));
     match rest {
         [] => print!("{}", io::text::write_text(&log)),
         [path] => {
             write_log(&log, path)?;
-            println!("wrote {} records ({} instances) to {path}", log.len(), log.num_instances());
+            println!(
+                "wrote {} records ({} instances) to {path}",
+                log.len(),
+                log.num_instances()
+            );
         }
         _ => return Err("too many arguments to simulate".to_string()),
     }
@@ -256,10 +262,19 @@ fn cmd_timeline(args: &[String]) -> Result<(), String> {
     };
     let log = read_log(path)?;
     let pattern = parse_pattern(pattern_src)?;
-    let step = if step == 0 { (log.len() / 10).max(1) } else { step };
+    let step = if step == 0 {
+        (log.len() / 10).max(1)
+    } else {
+        step
+    };
     println!("{:>10} {:>12} {:>8}", "up to lsn", "incidents", "new");
     for point in wlq::timeline(&log, &pattern, step) {
-        println!("{:>10} {:>12} {:>8}", point.lsn.get(), point.incidents, point.delta);
+        println!(
+            "{:>10} {:>12} {:>8}",
+            point.lsn.get(),
+            point.incidents,
+            point.delta
+        );
     }
     Ok(())
 }
@@ -290,9 +305,16 @@ fn cmd_mine(args: &[String]) -> Result<(), String> {
     };
     let log = read_log(path)?;
     let relations = mine_relations(&log, min_support);
-    println!("{} relation(s) with support ≥ {min_support}:", relations.len());
+    println!(
+        "{} relation(s) with support ≥ {min_support}:",
+        relations.len()
+    );
     for relation in relations {
-        println!("  {:<40} support {}", relation.pattern.to_string(), relation.support);
+        println!(
+            "  {:<40} support {}",
+            relation.pattern.to_string(),
+            relation.support
+        );
     }
     Ok(())
 }
@@ -312,7 +334,10 @@ fn cmd_check(args: &[String]) -> Result<(), String> {
         println!("log conforms to {}", model.name());
         Ok(())
     } else {
-        Err(format!("{} instance(s) violate the model", violations.len()))
+        Err(format!(
+            "{} instance(s) violate the model",
+            violations.len()
+        ))
     }
 }
 
@@ -322,7 +347,10 @@ fn cmd_audit(args: &[String]) -> Result<(), String> {
         [path, rules_file] => {
             let text = std::fs::read_to_string(rules_file)
                 .map_err(|e| format!("cannot read {rules_file}: {e}"))?;
-            (path, wlq::rules::RuleSet::parse(&text).map_err(|e| e.to_string())?)
+            (
+                path,
+                wlq::rules::RuleSet::parse(&text).map_err(|e| e.to_string())?,
+            )
         }
         _ => return Err("usage: audit <log-file> [rules-file]".to_string()),
     };

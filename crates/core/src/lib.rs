@@ -36,14 +36,11 @@
 #![warn(clippy::all)]
 
 pub use wlq_engine::{
-    combine, equivalent_up_to, evaluate_parallel, fast_count, leaf_incidents, mine_relations,
-    timeline,
-    BoundIncident, BoundedEquiv, EvalTrace, Evaluator,
-    Explain,
-    ExplainRow, Incident, IncidentSet, IncidentTree, LabelledPattern, MinedRelation, Node,
-    NodeTrace, Query,
-    QueryProfile, SharedStreamingEvaluator, SpanStats, Strategy, StreamingEvaluator,
-    TimelinePoint,
+    combine, combine_batch, combine_batch_into, equivalent_up_to, evaluate_parallel, fast_count,
+    leaf_batch, leaf_incidents, mine_relations, timeline, BatchArena, BoundIncident, BoundedEquiv,
+    EvalTrace, Evaluator, Explain, ExplainRow, Incident, IncidentBatch, IncidentRef, IncidentSet,
+    IncidentTree, LabelledPattern, MinedRelation, Node, NodeTrace, Query, QueryProfile,
+    SharedStreamingEvaluator, SpanStats, Strategy, StreamingEvaluator, TimelinePoint,
 };
 pub use wlq_log::{
     attrs, io, paper, Activity, AttrMap, AttrName, IsLsn, Log, LogBuilder, LogError, LogIndex,
@@ -107,10 +104,7 @@ pub mod analyses {
                 threshold,
             )),
         );
-        Query::new(refer.alt(update))
-            .find(log)
-            .wids()
-            .collect()
+        Query::new(refer.alt(update)).find(log).wids().collect()
     }
 
     /// Like [`high_balance_referrals`], additionally grouped by the value

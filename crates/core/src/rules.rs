@@ -113,10 +113,11 @@ impl RuleSet {
                 Some((p, d)) => (p.trim(), d.trim().to_string()),
                 None => (rest.trim(), String::new()),
             };
-            set.add(name, description, pattern_src).map_err(|e| RuleParseError {
-                line: line_no,
-                message: format!("bad pattern: {e}"),
-            })?;
+            set.add(name, description, pattern_src)
+                .map_err(|e| RuleParseError {
+                    line: line_no,
+                    message: format!("bad pattern: {e}"),
+                })?;
         }
         Ok(set)
     }
@@ -303,7 +304,10 @@ mod tests {
         assert_eq!(row.name, "update-before-reimburse");
         assert_eq!(row.incidents.len(), 1);
         assert!(report.flagged.contains_key(&Wid(2)));
-        assert_eq!(report.repeat_offenders(1).first().map(|p| p.0), Some(Wid(2)));
+        assert_eq!(
+            report.repeat_offenders(1).first().map(|p| p.0),
+            Some(Wid(2))
+        );
         // Nobody trips three rules on the tiny example log.
         assert!(report.repeat_offenders(3).is_empty());
     }

@@ -19,7 +19,7 @@
 use std::collections::BTreeMap;
 
 use wlq_log::{IsLsn, Log, Wid};
-use wlq_pattern::{Atom, Op, Pattern, ParsePatternError};
+use wlq_pattern::{Atom, Op, ParsePatternError, Pattern};
 
 use crate::eval::{leaf_incidents, Evaluator};
 use crate::incident::Incident;
@@ -340,7 +340,11 @@ fn combine_bound(op: Op, left: &[BoundIncident], right: &[BoundIncident]) -> Vec
             }
         }
     }
-    out.sort_by(|a, b| a.incident.cmp(&b.incident).then_with(|| a.bindings.cmp(&b.bindings)));
+    out.sort_by(|a, b| {
+        a.incident
+            .cmp(&b.incident)
+            .then_with(|| a.bindings.cmp(&b.bindings))
+    });
     out.dedup();
     out
 }
@@ -383,10 +387,7 @@ mod tests {
             Pattern::Atom(a) => a,
         };
         assert_eq!(atom.predicates.len(), 2);
-        assert_eq!(
-            atom.predicates[0].value,
-            wlq_log::Value::from("a:b")
-        );
+        assert_eq!(atom.predicates[0].value, wlq_log::Value::from("a:b"));
     }
 
     #[test]
@@ -413,8 +414,7 @@ mod tests {
             let lp = LabelledPattern::parse(src).unwrap();
             let bound = lp.evaluate(&log);
             let plain = Evaluator::new(&log).evaluate(lp.pattern());
-            let bound_incidents: Vec<&Incident> =
-                bound.iter().map(|b| &b.incident).collect();
+            let bound_incidents: Vec<&Incident> = bound.iter().map(|b| &b.incident).collect();
             assert_eq!(bound_incidents.len(), plain.len(), "{src}");
             for incident in &bound_incidents {
                 assert!(plain.contains(incident), "{src}");

@@ -64,11 +64,7 @@ impl BoundedEquiv {
 #[must_use]
 pub fn equivalent_up_to(p: &Pattern, q: &Pattern, max_len: usize) -> BoundedEquiv {
     // Combined alphabet plus a fresh activity for ¬t matches.
-    let mut alphabet: Vec<Activity> = p
-        .activities()
-        .into_iter()
-        .chain(q.activities())
-        .collect();
+    let mut alphabet: Vec<Activity> = p.activities().into_iter().chain(q.activities()).collect();
     alphabet.sort();
     alphabet.dedup();
     let fresh = fresh_activity(&alphabet);
@@ -147,19 +143,9 @@ mod tests {
             assert!(equivalent_up_to(&p, &q, 4).holds(), "{op}");
         }
         // Theorem 4 (mixed).
-        assert!(equivalent_up_to(
-            &parse("A ~> (B -> C)"),
-            &parse("(A ~> B) -> C"),
-            4
-        )
-        .holds());
+        assert!(equivalent_up_to(&parse("A ~> (B -> C)"), &parse("(A ~> B) -> C"), 4).holds());
         // Theorem 5 (distributivity).
-        assert!(equivalent_up_to(
-            &parse("A & (B | C)"),
-            &parse("(A & B) | (A & C)"),
-            4
-        )
-        .holds());
+        assert!(equivalent_up_to(&parse("A & (B | C)"), &parse("(A & B) | (A & C)"), 4).holds());
     }
 
     #[test]
@@ -170,7 +156,10 @@ mod tests {
         };
         // The witness actually distinguishes them.
         let eval = Evaluator::new(&log);
-        assert_ne!(eval.evaluate(&parse("A -> B")), eval.evaluate(&parse("B -> A")));
+        assert_ne!(
+            eval.evaluate(&parse("A -> B")),
+            eval.evaluate(&parse("B -> A"))
+        );
         assert!(!equivalent_up_to(&parse("A ~> B"), &parse("A -> B"), 4).holds());
         assert!(!equivalent_up_to(&parse("A | B"), &parse("A & B"), 4).holds());
     }

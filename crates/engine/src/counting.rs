@@ -36,10 +36,17 @@ fn as_chain(pattern: &Pattern) -> Option<Vec<ChainStep>> {
                 if !atom.predicates.is_empty() {
                     return false;
                 }
-                out.push(ChainStep { atom: atom.clone(), op: op_before });
+                out.push(ChainStep {
+                    atom: atom.clone(),
+                    op: op_before,
+                });
                 true
             }
-            Pattern::Binary { op: op @ (Op::Consecutive | Op::Sequential), left, right } => {
+            Pattern::Binary {
+                op: op @ (Op::Consecutive | Op::Sequential),
+                left,
+                right,
+            } => {
                 // The operator sits between left's last atom and right's
                 // first atom, in any parenthesisation.
                 walk(left, out, op_before) && walk(right, out, Some(*op))
@@ -122,11 +129,17 @@ mod tests {
     use proptest::prelude::{prop, proptest, ProptestConfig};
     use wlq_log::{attrs, paper, LogBuilder};
 
+    use crate::eval::Strategy;
+
     fn check(log: &Log, src: &str) {
         let p: Pattern = src.parse().unwrap();
         let fast = fast_count(log, &p).unwrap_or_else(|| panic!("{src} not a chain"));
-        let slow = Evaluator::new(log).count(&p);
-        assert_eq!(fast, slow, "{src}");
+        // The DP must agree with every enumeration path, including the
+        // batch evaluator's ref-counting (which also never materialises).
+        for strategy in [Strategy::NaivePaper, Strategy::Optimized, Strategy::Batch] {
+            let slow = Evaluator::with_strategy(log, strategy).count(&p);
+            assert_eq!(fast, slow, "{src} under {strategy:?}");
+        }
     }
 
     #[test]

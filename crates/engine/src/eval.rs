@@ -1,22 +1,30 @@
 //! The evaluator: strategies, leaf evaluation, and the per-instance
 //! recursive evaluation driver.
 
-use wlq_log::{Log, LogIndex, Wid};
+use wlq_log::{IsLsn, Log, LogIndex, Wid};
 use wlq_pattern::{Atom, Op, Pattern};
 
+use crate::batch::{BatchArena, IncidentBatch};
 use crate::incident::Incident;
 use crate::incident_set::IncidentSet;
-use crate::{naive, optimized};
+use crate::{kernels, naive, optimized};
 
 /// Which operator implementations the evaluator uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum Strategy {
     /// The paper's Algorithm 1: nested-loop joins, `O(n1·n2)` per operator.
     NaivePaper,
-    /// Index- and merge-based operators (output-sensitive where possible).
+    /// Index- and merge-based operators (output-sensitive where possible)
+    /// over the classic one-allocation-per-incident representation.
     /// Produces identical incident sets; see `crate::optimized`.
-    #[default]
     Optimized,
+    /// The optimized operators over the flat arena-backed
+    /// [`IncidentBatch`] layout: unions are bump-appends into a shared
+    /// position pool and output stays sorted by construction where input
+    /// order guarantees it. Produces identical incident sets; see
+    /// `crate::batch` and `crate::kernels`.
+    #[default]
+    Batch,
 }
 
 /// Combines two per-instance incident lists under `op` using `strategy`.
@@ -25,12 +33,7 @@ pub enum Strategy {
 /// operator implementations; both produce the same sorted, deduplicated
 /// output.
 #[must_use]
-pub fn combine(
-    strategy: Strategy,
-    op: Op,
-    left: &[Incident],
-    right: &[Incident],
-) -> Vec<Incident> {
+pub fn combine(strategy: Strategy, op: Op, left: &[Incident], right: &[Incident]) -> Vec<Incident> {
     match (strategy, op) {
         (Strategy::NaivePaper, Op::Consecutive) => naive::consecutive_eval(left, right),
         (Strategy::NaivePaper, Op::Sequential) => naive::sequential_eval(left, right),
@@ -40,6 +43,29 @@ pub fn combine(
         (Strategy::Optimized, Op::Sequential) => optimized::sequential_eval(left, right),
         (Strategy::Optimized, Op::Choice) => optimized::choice_eval(left, right),
         (Strategy::Optimized, Op::Parallel) => optimized::parallel_eval(left, right),
+        (Strategy::Batch, _) => {
+            // Boundary conversion for callers holding classic incident
+            // lists (trees, streaming deltas); the evaluator's own batch
+            // path stays flat end-to-end and never comes through here.
+            let Some(wid) = left.first().or_else(|| right.first()).map(Incident::wid) else {
+                return Vec::new();
+            };
+            let l = IncidentBatch::from_incidents(wid, left);
+            let r = IncidentBatch::from_incidents(wid, right);
+            kernels::combine_batch(op, &l, &r).into_incidents()
+        }
+    }
+}
+
+/// Whether one record satisfies an atom's attribute predicates.
+fn atom_admits(atom: &Atom, log: &Log, wid: Wid, position: IsLsn) -> bool {
+    atom.predicates.is_empty() || {
+        let record = log
+            .record(wid, position)
+            .expect("index positions exist in the log");
+        atom.predicates
+            .iter()
+            .all(|pred| pred.matches(record.input(), record.output()))
     }
 }
 
@@ -48,25 +74,51 @@ pub fn combine(
 /// attribute predicates (extension).
 #[must_use]
 pub fn leaf_incidents(atom: &Atom, log: &Log, index: &LogIndex, wid: Wid) -> Vec<Incident> {
-    let positions = if atom.negated {
-        index.complement_postings(wid, atom.activity.as_str())
+    if atom.negated {
+        index
+            .complement_postings(wid, atom.activity.as_str())
+            .into_iter()
+            .filter(|&p| atom_admits(atom, log, wid, p))
+            .map(|p| Incident::singleton(wid, p))
+            .collect()
     } else {
-        index.postings(wid, atom.activity.as_str()).to_vec()
-    };
-    positions
-        .into_iter()
-        .filter(|&p| {
-            atom.predicates.is_empty() || {
-                let record = log
-                    .record(wid, p)
-                    .expect("index positions exist in the log");
-                atom.predicates
-                    .iter()
-                    .all(|pred| pred.matches(record.input(), record.output()))
+        // Predicate-free positive atoms map the borrowed posting slice
+        // straight to singletons — no intermediate position clone.
+        index
+            .postings(wid, atom.activity.as_str())
+            .iter()
+            .copied()
+            .filter(|&p| atom_admits(atom, log, wid, p))
+            .map(|p| Incident::singleton(wid, p))
+            .collect()
+    }
+}
+
+/// Like [`leaf_incidents`], emitting straight into a pooled
+/// [`IncidentBatch`]: one position per matching record, no per-incident
+/// allocation. Postings are ascending, so the batch is born finished.
+pub fn leaf_batch(
+    atom: &Atom,
+    log: &Log,
+    index: &LogIndex,
+    wid: Wid,
+    arena: &mut BatchArena,
+) -> IncidentBatch {
+    let mut batch = arena.alloc(wid);
+    if atom.negated {
+        for p in index.complement_postings(wid, atom.activity.as_str()) {
+            if atom_admits(atom, log, wid, p) {
+                batch.push_singleton(p);
             }
-        })
-        .map(|p| Incident::singleton(wid, p))
-        .collect()
+        }
+    } else {
+        for &p in index.postings(wid, atom.activity.as_str()) {
+            if atom_admits(atom, log, wid, p) {
+                batch.push_singleton(p);
+            }
+        }
+    }
+    batch
 }
 
 /// Evaluates incident-pattern queries over one log.
@@ -97,7 +149,8 @@ pub struct Evaluator<'a> {
 }
 
 impl<'a> Evaluator<'a> {
-    /// Creates an evaluator with the default (optimized) strategy.
+    /// Creates an evaluator with the default ([`Strategy::Batch`])
+    /// strategy.
     #[must_use]
     pub fn new(log: &'a Log) -> Self {
         Self::with_strategy(log, Strategy::default())
@@ -106,7 +159,11 @@ impl<'a> Evaluator<'a> {
     /// Creates an evaluator with an explicit strategy.
     #[must_use]
     pub fn with_strategy(log: &'a Log, strategy: Strategy) -> Self {
-        Evaluator { log, index: LogIndex::build(log), strategy }
+        Evaluator {
+            log,
+            index: LogIndex::build(log),
+            strategy,
+        }
     }
 
     /// The log being queried.
@@ -128,11 +185,25 @@ impl<'a> Evaluator<'a> {
     }
 
     /// Computes `incL(p)`: all incidents of `p` in the log.
+    ///
+    /// Under [`Strategy::Batch`] the whole evaluation stays in the flat
+    /// [`IncidentBatch`] layout, converting to [`Incident`]s only here at
+    /// the query boundary; one [`BatchArena`] is reused across all
+    /// instances.
     #[must_use]
     pub fn evaluate(&self, pattern: &Pattern) -> IncidentSet {
         let mut parts = Vec::new();
-        for wid in self.index.wids() {
-            parts.push((wid, self.evaluate_instance(pattern, wid)));
+        if self.strategy == Strategy::Batch {
+            let mut arena = BatchArena::new();
+            for wid in self.index.wids() {
+                let mut batch = self.evaluate_instance_batch_in(pattern, wid, &mut arena);
+                parts.push((wid, batch.drain_incidents()));
+                arena.recycle(batch);
+            }
+        } else {
+            for wid in self.index.wids() {
+                parts.push((wid, self.evaluate_instance(pattern, wid)));
+            }
         }
         IncidentSet::from_partitions(parts)
     }
@@ -140,6 +211,9 @@ impl<'a> Evaluator<'a> {
     /// Computes the incidents of `p` within a single instance.
     #[must_use]
     pub fn evaluate_instance(&self, pattern: &Pattern, wid: Wid) -> Vec<Incident> {
+        if self.strategy == Strategy::Batch {
+            return self.evaluate_instance_batch(pattern, wid).into_incidents();
+        }
         match pattern {
             Pattern::Atom(atom) => leaf_incidents(atom, self.log, &self.index, wid),
             Pattern::Binary { op, left, right } => {
@@ -155,17 +229,80 @@ impl<'a> Evaluator<'a> {
         }
     }
 
+    /// Computes the incidents of `p` within one instance in flat batch
+    /// form, regardless of the configured strategy.
+    #[must_use]
+    pub fn evaluate_instance_batch(&self, pattern: &Pattern, wid: Wid) -> IncidentBatch {
+        let mut arena = BatchArena::new();
+        self.evaluate_instance_batch_in(pattern, wid, &mut arena)
+    }
+
+    /// Like [`evaluate_instance_batch`](Self::evaluate_instance_batch),
+    /// drawing every batch from — and retiring operator inputs to — the
+    /// caller's arena. Parallel workers pass a worker-local arena so
+    /// allocations are reused across the instances each worker sweeps.
+    #[must_use]
+    pub fn evaluate_instance_batch_in(
+        &self,
+        pattern: &Pattern,
+        wid: Wid,
+        arena: &mut BatchArena,
+    ) -> IncidentBatch {
+        match pattern {
+            Pattern::Atom(atom) => leaf_batch(atom, self.log, &self.index, wid, arena),
+            Pattern::Binary { op, left, right } => {
+                let l = self.evaluate_instance_batch_in(left, wid, arena);
+                // Short-circuit: for the three conjunctive operators an
+                // empty side forces an empty result.
+                if l.is_empty() && *op != Op::Choice {
+                    return l;
+                }
+                let r = self.evaluate_instance_batch_in(right, wid, arena);
+                let mut out = arena.alloc(wid);
+                kernels::combine_batch_into(*op, &l, &r, &mut out);
+                arena.recycle(l);
+                arena.recycle(r);
+                out
+            }
+        }
+    }
+
     /// Whether any incident of `p` exists (early-exits per instance).
     #[must_use]
     pub fn exists(&self, pattern: &Pattern) -> bool {
+        if self.strategy == Strategy::Batch {
+            let mut arena = BatchArena::new();
+            return self.index.wids().any(|wid| {
+                let batch = self.evaluate_instance_batch_in(pattern, wid, &mut arena);
+                let found = !batch.is_empty();
+                arena.recycle(batch);
+                found
+            });
+        }
         self.index
             .wids()
             .any(|wid| !self.evaluate_instance(pattern, wid).is_empty())
     }
 
     /// Number of incidents of `p` in the log, `|incL(p)|`.
+    ///
+    /// Under [`Strategy::Batch`] this counts [`IncidentBatch`] refs
+    /// directly — no incident is ever materialized.
     #[must_use]
     pub fn count(&self, pattern: &Pattern) -> usize {
+        if self.strategy == Strategy::Batch {
+            let mut arena = BatchArena::new();
+            return self
+                .index
+                .wids()
+                .map(|wid| {
+                    let batch = self.evaluate_instance_batch_in(pattern, wid, &mut arena);
+                    let n = batch.len();
+                    arena.recycle(batch);
+                    n
+                })
+                .sum();
+        }
         self.index
             .wids()
             .map(|wid| self.evaluate_instance(pattern, wid).len())
@@ -175,6 +312,19 @@ impl<'a> Evaluator<'a> {
     /// The instances containing at least one incident of `p`.
     #[must_use]
     pub fn matching_instances(&self, pattern: &Pattern) -> Vec<Wid> {
+        if self.strategy == Strategy::Batch {
+            let mut arena = BatchArena::new();
+            return self
+                .index
+                .wids()
+                .filter(|&wid| {
+                    let batch = self.evaluate_instance_batch_in(pattern, wid, &mut arena);
+                    let found = !batch.is_empty();
+                    arena.recycle(batch);
+                    found
+                })
+                .collect();
+        }
         self.index
             .wids()
             .filter(|&wid| !self.evaluate_instance(pattern, wid).is_empty())
@@ -199,7 +349,7 @@ mod tests {
     fn example3_update_before_reimburse() {
         // incL(UpdateRefer → GetReimburse) = {{l14, l20}}.
         let log = paper::figure3_log();
-        for strategy in [Strategy::NaivePaper, Strategy::Optimized] {
+        for strategy in [Strategy::NaivePaper, Strategy::Optimized, Strategy::Batch] {
             let eval = Evaluator::with_strategy(&log, strategy);
             let set = eval.evaluate(&parse("UpdateRefer -> GetReimburse"));
             assert_eq!(set.len(), 1);
@@ -286,10 +436,7 @@ mod tests {
             eval.matching_instances(&parse("GetRefer")),
             vec![Wid(1), Wid(2), Wid(3)]
         );
-        assert_eq!(
-            eval.matching_instances(&parse("UpdateRefer")),
-            vec![Wid(2)]
-        );
+        assert_eq!(eval.matching_instances(&parse("UpdateRefer")), vec![Wid(2)]);
     }
 
     #[test]
@@ -310,6 +457,7 @@ mod tests {
         let log = paper::figure3_log();
         let naive = Evaluator::with_strategy(&log, Strategy::NaivePaper);
         let opt = Evaluator::with_strategy(&log, Strategy::Optimized);
+        let batch = Evaluator::with_strategy(&log, Strategy::Batch);
         for src in [
             "GetRefer ~> CheckIn",
             "GetRefer -> GetReimburse",
@@ -321,6 +469,21 @@ mod tests {
         ] {
             let p = parse(src);
             assert_eq!(naive.evaluate(&p), opt.evaluate(&p), "mismatch on {src}");
+            assert_eq!(
+                naive.evaluate(&p),
+                batch.evaluate(&p),
+                "batch mismatch on {src}"
+            );
+            assert_eq!(
+                naive.count(&p),
+                batch.count(&p),
+                "batch count mismatch on {src}"
+            );
+            assert_eq!(
+                naive.exists(&p),
+                batch.exists(&p),
+                "batch exists mismatch on {src}"
+            );
         }
     }
 

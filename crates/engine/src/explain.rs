@@ -48,7 +48,11 @@ impl Explain {
     pub fn run(log: &Log, pattern: &Pattern, optimize: bool, strategy: Strategy) -> Explain {
         let stats = LogStats::compute(log);
         let optimizer = Optimizer::new(stats);
-        let plan = if optimize { optimizer.optimize(pattern) } else { pattern.clone() };
+        let plan = if optimize {
+            optimizer.optimize(pattern)
+        } else {
+            pattern.clone()
+        };
         let model = optimizer.model();
 
         let index = LogIndex::build(log);
@@ -166,7 +170,12 @@ mod tests {
     #[test]
     fn display_renders_a_table() {
         let log = paper::figure3_log();
-        let explain = Explain::run(&log, &parse("UpdateRefer -> GetReimburse"), false, Strategy::Optimized);
+        let explain = Explain::run(
+            &log,
+            &parse("UpdateRefer -> GetReimburse"),
+            false,
+            Strategy::Optimized,
+        );
         let text = explain.to_string();
         assert!(text.contains("query: UpdateRefer -> GetReimburse"));
         assert!(text.contains("total: 1 incidents"));

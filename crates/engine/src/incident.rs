@@ -38,7 +38,10 @@ impl Incident {
     /// An incident of an atomic pattern: one record.
     #[must_use]
     pub fn singleton(wid: Wid, position: IsLsn) -> Self {
-        Incident { wid, positions: vec![position] }
+        Incident {
+            wid,
+            positions: vec![position],
+        }
     }
 
     /// Builds an incident from arbitrary positions (sorted and deduped).
@@ -49,9 +52,27 @@ impl Incident {
     /// Definition 4.
     #[must_use]
     pub fn from_positions(wid: Wid, mut positions: Vec<IsLsn>) -> Self {
-        assert!(!positions.is_empty(), "incidents are nonempty sets of log records");
+        assert!(
+            !positions.is_empty(),
+            "incidents are nonempty sets of log records"
+        );
         positions.sort_unstable();
         positions.dedup();
+        Incident { wid, positions }
+    }
+
+    /// Builds an incident from positions already strictly ascending and
+    /// nonempty — the batch-to-incident boundary conversion, which must
+    /// not pay [`from_positions`](Self::from_positions)' re-sort.
+    pub(crate) fn from_sorted_positions_unchecked(wid: Wid, positions: Vec<IsLsn>) -> Self {
+        debug_assert!(
+            !positions.is_empty(),
+            "incidents are nonempty sets of log records"
+        );
+        debug_assert!(
+            positions.windows(2).all(|w| w[0] < w[1]),
+            "positions must be ascending"
+        );
         Incident { wid, positions }
     }
 
@@ -151,7 +172,10 @@ impl Incident {
         }
         positions.extend_from_slice(&self.positions[i..]);
         positions.extend_from_slice(&other.positions[j..]);
-        Incident { wid: self.wid, positions }
+        Incident {
+            wid: self.wid,
+            positions,
+        }
     }
 }
 
@@ -229,7 +253,10 @@ mod tests {
     fn ordering_is_by_wid_then_positions() {
         let mut v = vec![inc(2, &[1]), inc(1, &[9]), inc(1, &[2, 3]), inc(1, &[2])];
         v.sort();
-        assert_eq!(v, vec![inc(1, &[2]), inc(1, &[2, 3]), inc(1, &[9]), inc(2, &[1])]);
+        assert_eq!(
+            v,
+            vec![inc(1, &[2]), inc(1, &[2, 3]), inc(1, &[9]), inc(2, &[1])]
+        );
     }
 
     #[test]

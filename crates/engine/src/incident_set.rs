@@ -126,14 +126,51 @@ impl IncidentSet {
     }
 
     /// Merges another incident set into this one (set union).
+    ///
+    /// Both per-instance lists are already sorted and deduplicated (the
+    /// type's invariant), so each instance is combined by a linear
+    /// two-list merge rather than an append-and-re-sort.
     pub fn merge(&mut self, other: IncidentSet) {
+        use std::collections::btree_map::Entry;
         for (wid, incidents) in other.by_wid {
-            let list = self.by_wid.entry(wid).or_default();
-            list.extend(incidents);
-            list.sort_unstable();
-            list.dedup();
+            match self.by_wid.entry(wid) {
+                Entry::Vacant(slot) => {
+                    slot.insert(incidents);
+                }
+                Entry::Occupied(mut slot) => {
+                    let merged = merge_sorted(std::mem::take(slot.get_mut()), incidents);
+                    *slot.get_mut() = merged;
+                }
+            }
         }
     }
+}
+
+/// Unions two sorted, deduplicated incident lists in `O(n1 + n2)`.
+pub(crate) fn merge_sorted(a: Vec<Incident>, b: Vec<Incident>) -> Vec<Incident> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut xs, mut ys) = (a.into_iter().peekable(), b.into_iter().peekable());
+    loop {
+        match (xs.peek(), ys.peek()) {
+            (Some(x), Some(y)) => match x.cmp(y) {
+                std::cmp::Ordering::Less => out.push(xs.next().expect("peeked")),
+                std::cmp::Ordering::Greater => out.push(ys.next().expect("peeked")),
+                std::cmp::Ordering::Equal => {
+                    out.push(xs.next().expect("peeked"));
+                    ys.next();
+                }
+            },
+            (Some(_), None) => {
+                out.extend(xs);
+                break;
+            }
+            (None, _) => {
+                out.extend(ys);
+                break;
+            }
+        }
+    }
+    out
 }
 
 impl FromIterator<Incident> for IncidentSet {
@@ -196,6 +233,32 @@ mod tests {
     }
 
     #[test]
+    fn merge_unions_overlapping_and_new_instances() {
+        let mut a = IncidentSet::from_partitions(vec![
+            (Wid(1), vec![inc(1, &[1]), inc(1, &[3]), inc(1, &[5])]),
+            (Wid(2), vec![inc(2, &[2])]),
+        ]);
+        let b = IncidentSet::from_partitions(vec![
+            (Wid(1), vec![inc(1, &[2]), inc(1, &[3]), inc(1, &[9])]),
+            (Wid(3), vec![inc(3, &[7])]),
+        ]);
+        a.merge(b);
+        assert_eq!(
+            a.for_wid(Wid(1)),
+            &[
+                inc(1, &[1]),
+                inc(1, &[2]),
+                inc(1, &[3]),
+                inc(1, &[5]),
+                inc(1, &[9])
+            ]
+        );
+        assert_eq!(a.for_wid(Wid(2)), &[inc(2, &[2])]);
+        assert_eq!(a.for_wid(Wid(3)), &[inc(3, &[7])]);
+        assert_eq!(a.len(), 7);
+    }
+
+    #[test]
     fn from_partitions_drops_empty_and_dedups() {
         let set = IncidentSet::from_partitions(vec![
             (Wid(1), vec![inc(1, &[5]), inc(1, &[2]), inc(1, &[5])]),
@@ -224,8 +287,9 @@ mod tests {
 
     #[test]
     fn counts_by_wid_reports_per_instance() {
-        let set: IncidentSet =
-            vec![inc(1, &[1]), inc(1, &[2]), inc(2, &[9])].into_iter().collect();
+        let set: IncidentSet = vec![inc(1, &[1]), inc(1, &[2]), inc(2, &[9])]
+            .into_iter()
+            .collect();
         let counts = set.counts_by_wid();
         assert_eq!(counts[&Wid(1)], 2);
         assert_eq!(counts[&Wid(2)], 1);
@@ -240,8 +304,9 @@ mod tests {
 
     #[test]
     fn iteration_orders_by_wid_then_first() {
-        let set: IncidentSet =
-            vec![inc(2, &[1]), inc(1, &[7]), inc(1, &[3])].into_iter().collect();
+        let set: IncidentSet = vec![inc(2, &[1]), inc(1, &[7]), inc(1, &[3])]
+            .into_iter()
+            .collect();
         let order: Vec<String> = set.iter().map(ToString::to_string).collect();
         assert_eq!(order, ["{3}@wid1", "{7}@wid1", "{1}@wid2"]);
     }

@@ -1,0 +1,295 @@
+//! Zero-copy operator kernels over [`IncidentBatch`]es.
+//!
+//! Each kernel implements one operator of Definition 4 directly on the
+//! flat layout of [`crate::batch`], with two structural wins over the
+//! classic `Vec<Incident>` operators:
+//!
+//! - **unions are bump-appends**: the `⊙`/`→` join conditions imply every
+//!   right-operand position exceeds every left-operand position, so a
+//!   union is `push_concat` — two slice copies into the shared pool, no
+//!   per-incident allocation and no element-wise merge;
+//! - **output order comes from input order**: scanning a first-sorted
+//!   left input and emitting unions that keep the left operand's `first`
+//!   yields output already sorted by `first`, so the blanket re-sort of
+//!   the classic operators shrinks to a per-equal-`first`-run fixup
+//!   ([`IncidentBatch::finish_runs`]); `⊗` is a plain sorted merge
+//!   needing no fixup at all, and only `⊕` still pays a full sort.
+//!
+//! All four kernels produce exactly the incident sets of
+//! [`crate::naive`] / [`crate::optimized`] (property-tested in
+//! `tests/batch_equiv.rs`).
+
+use wlq_pattern::Op;
+
+use crate::batch::IncidentBatch;
+
+fn check_operands(left: &IncidentBatch, right: &IncidentBatch, out: &IncidentBatch) {
+    debug_assert_eq!(left.wid(), right.wid(), "operands from different instances");
+    debug_assert_eq!(
+        left.wid(),
+        out.wid(),
+        "output batch bound to another instance"
+    );
+    left.debug_check_invariants();
+    right.debug_check_invariants();
+}
+
+/// Dispatches one operator to its batch kernel, writing into a fresh
+/// batch.
+#[must_use]
+pub fn combine_batch(op: Op, left: &IncidentBatch, right: &IncidentBatch) -> IncidentBatch {
+    let mut out = IncidentBatch::new(left.wid());
+    combine_batch_into(op, left, right, &mut out);
+    out
+}
+
+/// Dispatches one operator to its batch kernel, reusing `out`'s
+/// allocations (cleared first).
+pub fn combine_batch_into(
+    op: Op,
+    left: &IncidentBatch,
+    right: &IncidentBatch,
+    out: &mut IncidentBatch,
+) {
+    out.reset(left.wid());
+    match op {
+        Op::Consecutive => consecutive_kernel(left, right, out),
+        Op::Sequential => sequential_kernel(left, right, out),
+        Op::Choice => choice_kernel(left, right, out),
+        Op::Parallel => parallel_kernel(left, right, out),
+    }
+}
+
+/// `⊙` (consecutive): unions of pairs with `first(o2) = last(o1) + 1`.
+///
+/// The right refs are sorted by `first`, so each left incident's partners
+/// are one contiguous run found by binary search on the cached keys — the
+/// pool is touched only to copy the union out.
+pub fn consecutive_kernel(left: &IncidentBatch, right: &IncidentBatch, out: &mut IncidentBatch) {
+    check_operands(left, right, out);
+    let rrefs = right.refs();
+    for lref in left.refs() {
+        let probe = lref.last().next();
+        let start = rrefs.partition_point(|r| r.first() < probe);
+        for rref in rrefs[start..].iter().take_while(|r| r.first() == probe) {
+            out.push_concat(left.positions(lref), right.positions(rref));
+        }
+    }
+    out.finish_runs();
+}
+
+/// `→` (sequential): unions of pairs with `first(o2) > last(o1)`.
+///
+/// Partners are the suffix of the first-sorted right refs past a single
+/// `partition_point`; every union is a concat.
+pub fn sequential_kernel(left: &IncidentBatch, right: &IncidentBatch, out: &mut IncidentBatch) {
+    check_operands(left, right, out);
+    let rrefs = right.refs();
+    for lref in left.refs() {
+        let last = lref.last();
+        let start = rrefs.partition_point(|r| r.first() <= last);
+        for rref in &rrefs[start..] {
+            out.push_concat(left.positions(lref), right.positions(rref));
+        }
+    }
+    out.finish_runs();
+}
+
+/// `⊗` (choice): the union of both incident lists.
+///
+/// Both inputs are sorted, so this is a linear two-pointer merge over the
+/// refs; the output is fully sorted and deduplicated by construction.
+pub fn choice_kernel(left: &IncidentBatch, right: &IncidentBatch, out: &mut IncidentBatch) {
+    check_operands(left, right, out);
+    let (lrefs, rrefs) = (left.refs(), right.refs());
+    let (mut i, mut j) = (0, 0);
+    while i < lrefs.len() && j < rrefs.len() {
+        match left.cmp_across(&lrefs[i], right, &rrefs[j]) {
+            std::cmp::Ordering::Less => {
+                out.push_sorted_positions(left.positions(&lrefs[i]));
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                out.push_sorted_positions(right.positions(&rrefs[j]));
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                out.push_sorted_positions(left.positions(&lrefs[i]));
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    for lref in &lrefs[i..] {
+        out.push_sorted_positions(left.positions(lref));
+    }
+    for rref in &rrefs[j..] {
+        out.push_sorted_positions(right.positions(rref));
+    }
+    out.debug_check_invariants();
+}
+
+/// `⊕` (parallel): unions of record-disjoint pairs.
+///
+/// Non-overlapping ranges (the common case) take the concat fast path on
+/// the cached endpoints alone; interleaved ranges run a fused
+/// disjointness-check-and-merge that speculatively appends into the pool
+/// and rolls back to its mark on the first shared position. Unions here
+/// may take `first` from either operand, so this is the one kernel that
+/// still needs a full output sort.
+pub fn parallel_kernel(left: &IncidentBatch, right: &IncidentBatch, out: &mut IncidentBatch) {
+    check_operands(left, right, out);
+    for lref in left.refs() {
+        let lpos = left.positions(lref);
+        'pairs: for rref in right.refs() {
+            if lref.last() < rref.first() {
+                out.push_concat(lpos, right.positions(rref));
+                continue;
+            }
+            if rref.last() < lref.first() {
+                out.push_concat(right.positions(rref), lpos);
+                continue;
+            }
+            let rpos = right.positions(rref);
+            let mark = out.pool_mark();
+            let (mut a, mut b) = (0, 0);
+            while a < lpos.len() && b < rpos.len() {
+                match lpos[a].cmp(&rpos[b]) {
+                    std::cmp::Ordering::Less => {
+                        out.push_position(lpos[a]);
+                        a += 1;
+                    }
+                    std::cmp::Ordering::Greater => {
+                        out.push_position(rpos[b]);
+                        b += 1;
+                    }
+                    std::cmp::Ordering::Equal => {
+                        // Shared record: the pair is not parallel.
+                        out.truncate_pool(mark);
+                        continue 'pairs;
+                    }
+                }
+            }
+            for &p in &lpos[a..] {
+                out.push_position(p);
+            }
+            for &p in &rpos[b..] {
+                out.push_position(p);
+            }
+            out.commit_ref(mark);
+        }
+    }
+    out.finish_full();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::incident::Incident;
+    use crate::{naive, optimized};
+    use wlq_log::{IsLsn, Wid};
+
+    const WID: Wid = Wid(7);
+
+    fn incident(ps: &[u32]) -> Incident {
+        Incident::from_positions(WID, ps.iter().map(|&p| IsLsn(p)).collect())
+    }
+
+    fn fixture_a() -> Vec<Incident> {
+        vec![
+            incident(&[1]),
+            incident(&[1, 2]),
+            incident(&[3]),
+            incident(&[4, 6]),
+        ]
+    }
+
+    fn fixture_b() -> Vec<Incident> {
+        vec![
+            incident(&[2]),
+            incident(&[3, 5]),
+            incident(&[4]),
+            incident(&[7]),
+        ]
+    }
+
+    fn run(op: Op, left: &[Incident], right: &[Incident]) -> Vec<Incident> {
+        let lb = IncidentBatch::from_incidents(WID, left);
+        let rb = IncidentBatch::from_incidents(WID, right);
+        combine_batch(op, &lb, &rb).into_incidents()
+    }
+
+    #[test]
+    fn kernels_match_reference_operators_on_fixtures() {
+        let (a, b) = (fixture_a(), fixture_b());
+        for (xs, ys) in [(&a, &b), (&b, &a), (&a, &a), (&b, &b)] {
+            assert_eq!(
+                run(Op::Consecutive, xs, ys),
+                naive::consecutive_eval(xs, ys)
+            );
+            assert_eq!(run(Op::Sequential, xs, ys), naive::sequential_eval(xs, ys));
+            assert_eq!(run(Op::Choice, xs, ys), naive::choice_eval(xs, ys));
+            assert_eq!(run(Op::Parallel, xs, ys), naive::parallel_eval(xs, ys));
+        }
+    }
+
+    #[test]
+    fn kernels_match_optimized_operators_on_fixtures() {
+        let (a, b) = (fixture_a(), fixture_b());
+        assert_eq!(
+            run(Op::Consecutive, &a, &b),
+            optimized::consecutive_eval(&a, &b)
+        );
+        assert_eq!(
+            run(Op::Sequential, &a, &b),
+            optimized::sequential_eval(&a, &b)
+        );
+        assert_eq!(run(Op::Choice, &a, &b), optimized::choice_eval(&a, &b));
+        assert_eq!(run(Op::Parallel, &a, &b), optimized::parallel_eval(&a, &b));
+    }
+
+    #[test]
+    fn empty_sides_behave_like_reference() {
+        let a = fixture_a();
+        let empty: Vec<Incident> = Vec::new();
+        for op in [Op::Consecutive, Op::Sequential, Op::Choice, Op::Parallel] {
+            assert_eq!(run(op, &a, &empty), naive_combine(op, &a, &empty));
+            assert_eq!(run(op, &empty, &a), naive_combine(op, &empty, &a));
+            assert_eq!(run(op, &empty, &empty), Vec::new());
+        }
+    }
+
+    fn naive_combine(op: Op, l: &[Incident], r: &[Incident]) -> Vec<Incident> {
+        match op {
+            Op::Consecutive => naive::consecutive_eval(l, r),
+            Op::Sequential => naive::sequential_eval(l, r),
+            Op::Choice => naive::choice_eval(l, r),
+            Op::Parallel => naive::parallel_eval(l, r),
+        }
+    }
+
+    #[test]
+    fn sequential_output_needs_no_global_sort() {
+        // Two left incidents share first=1 (via different shapes) so the
+        // run fixup is exercised; the kernel output must still be the
+        // reference's sorted set.
+        let left = vec![incident(&[1]), incident(&[1, 3])];
+        let right = vec![incident(&[2]), incident(&[4]), incident(&[5])];
+        assert_eq!(
+            run(Op::Sequential, &left, &right),
+            naive::sequential_eval(&left, &right)
+        );
+    }
+
+    #[test]
+    fn parallel_rolls_back_overlapping_pairs() {
+        // [1,4] vs [4] overlaps (skipped); [1,4] vs [2,6] interleaves
+        // (fused merge); [3] vs [4] concats.
+        let left = vec![incident(&[1, 4]), incident(&[3])];
+        let right = vec![incident(&[2, 6]), incident(&[4])];
+        assert_eq!(
+            run(Op::Parallel, &left, &right),
+            naive::parallel_eval(&left, &right)
+        );
+    }
+}

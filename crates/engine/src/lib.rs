@@ -8,6 +8,9 @@
 //! * [`naive`] — the paper's Algorithm 1 operators, complexity-faithful.
 //! * [`optimized`] — output-sensitive operator implementations producing
 //!   identical results.
+//! * [`batch`] / [`kernels`] — the default evaluation hot path: flat
+//!   arena-backed [`IncidentBatch`] storage with zero-copy operator
+//!   kernels, again producing identical results.
 //! * [`IncidentTree`] — Definition 6 trees with post-order evaluation
 //!   (Algorithms 2–3) and per-node traces.
 //! * [`Evaluator`] — the per-instance recursive evaluator with
@@ -49,17 +52,21 @@ mod streaming;
 mod timeline;
 mod tree;
 
+pub mod batch;
+pub mod kernels;
 pub mod naive;
 pub mod optimized;
 
+pub use batch::{BatchArena, IncidentBatch, IncidentRef};
 pub use bindings::{BoundIncident, LabelledPattern};
 pub use bounded_equiv::{equivalent_up_to, BoundedEquiv};
 pub use counting::fast_count;
-pub use eval::{combine, leaf_incidents, Evaluator, Strategy};
+pub use eval::{combine, leaf_batch, leaf_incidents, Evaluator, Strategy};
 pub use explain::{Explain, ExplainRow};
-pub use mining::{mine_relations, MinedRelation};
 pub use incident::Incident;
 pub use incident_set::IncidentSet;
+pub use kernels::{combine_batch, combine_batch_into};
+pub use mining::{mine_relations, MinedRelation};
 pub use parallel::evaluate_parallel;
 pub use query::{Query, QueryProfile};
 pub use resolve::{IncidentInLog, IncidentSetInLog};

@@ -68,8 +68,7 @@ pub fn mine_relations(log: &Log, min_support: usize) -> Vec<MinedRelation> {
                 if pb.is_empty() {
                     continue;
                 }
-                let consecutive =
-                    pa.iter().any(|&x| pb.binary_search(&x.next()).is_ok());
+                let consecutive = pa.iter().any(|&x| pb.binary_search(&x.next()).is_ok());
                 // ∃ x ∈ pa, y ∈ pb with x < y ⇔ min(pa) < max(pb).
                 let sequential = pa[0] < *pb.last().expect("nonempty");
                 // Parallel: both executed with at least one record each,
@@ -77,13 +76,19 @@ pub fn mine_relations(log: &Log, min_support: usize) -> Vec<MinedRelation> {
                 // both occur; for a == b it needs two executions.
                 let parallel = if a == b { pa.len() >= 2 } else { true };
                 if consecutive {
-                    *support.entry((a.clone(), b.clone(), Op::Consecutive)).or_insert(0) += 1;
+                    *support
+                        .entry((a.clone(), b.clone(), Op::Consecutive))
+                        .or_insert(0) += 1;
                 }
                 if sequential {
-                    *support.entry((a.clone(), b.clone(), Op::Sequential)).or_insert(0) += 1;
+                    *support
+                        .entry((a.clone(), b.clone(), Op::Sequential))
+                        .or_insert(0) += 1;
                 }
                 if parallel && a <= b {
-                    *support.entry((a.clone(), b.clone(), Op::Parallel)).or_insert(0) += 1;
+                    *support
+                        .entry((a.clone(), b.clone(), Op::Parallel))
+                        .or_insert(0) += 1;
                 }
             }
         }
@@ -93,11 +98,7 @@ pub fn mine_relations(log: &Log, min_support: usize) -> Vec<MinedRelation> {
         .into_iter()
         .filter(|&(_, count)| count >= min_support)
         .map(|((a, b, op), count)| MinedRelation {
-            pattern: Pattern::binary(
-                op,
-                Pattern::atom(a.as_str()),
-                Pattern::atom(b.as_str()),
-            ),
+            pattern: Pattern::binary(op, Pattern::atom(a.as_str()), Pattern::atom(b.as_str())),
             op,
             activities: (a, b),
             support: count,
@@ -184,14 +185,16 @@ mod tests {
         // SeeDoctor runs twice in wids 1 and 2 → self-parallel support 2.
         let self_par = mined
             .iter()
-            .find(|r| r.op == Op::Parallel && r.activities.0 == "SeeDoctor" && r.activities.1 == "SeeDoctor")
+            .find(|r| {
+                r.op == Op::Parallel
+                    && r.activities.0 == "SeeDoctor"
+                    && r.activities.1 == "SeeDoctor"
+            })
             .unwrap();
         assert_eq!(self_par.support, 2);
         // UpdateRefer runs once: no self-parallel entry.
-        assert!(!mined
-            .iter()
-            .any(|r| r.op == Op::Parallel
-                && r.activities.0 == "UpdateRefer"
-                && r.activities.1 == "UpdateRefer"));
+        assert!(!mined.iter().any(|r| r.op == Op::Parallel
+            && r.activities.0 == "UpdateRefer"
+            && r.activities.1 == "UpdateRefer"));
     }
 }

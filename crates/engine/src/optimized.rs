@@ -46,7 +46,10 @@ pub fn consecutive_eval(inc1: &[Incident], inc2: &[Incident]) -> Vec<Incident> {
 /// Output-sensitive sequential join (`last(o1) < first(o2)`).
 #[must_use]
 pub fn sequential_eval(inc1: &[Incident], inc2: &[Incident]) -> Vec<Incident> {
-    debug_assert!(is_sorted_by_first(inc2), "right input must be sorted by first");
+    debug_assert!(
+        is_sorted_by_first(inc2),
+        "right input must be sorted by first"
+    );
     let mut out = Vec::new();
     for o1 in inc1 {
         // First index in inc2 whose first() > last(o1).

@@ -11,6 +11,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use wlq_log::{Log, Wid};
 use wlq_pattern::Pattern;
 
+use crate::batch::BatchArena;
 use crate::eval::{Evaluator, Strategy};
 use crate::incident::Incident;
 use crate::incident_set::IncidentSet;
@@ -73,10 +74,23 @@ impl Evaluator<'_> {
                     let next = &next;
                     scope.spawn(move |_| {
                         let mut out = Vec::new();
+                        // Each worker owns its arena: batches for the
+                        // instances it sweeps recycle worker-locally,
+                        // with no cross-thread sharing.
+                        let mut arena = BatchArena::new();
                         loop {
                             let i = next.fetch_add(1, Ordering::Relaxed);
                             let Some(&wid) = wids.get(i) else { break };
-                            out.push((wid, self.evaluate_instance(pattern, wid)));
+                            let incidents = if self.strategy() == Strategy::Batch {
+                                let mut batch =
+                                    self.evaluate_instance_batch_in(pattern, wid, &mut arena);
+                                let incidents = batch.drain_incidents();
+                                arena.recycle(batch);
+                                incidents
+                            } else {
+                                self.evaluate_instance(pattern, wid)
+                            };
+                            out.push((wid, incidents));
                         }
                         out
                     })
@@ -129,7 +143,11 @@ mod tests {
         let log = paper::figure3_log();
         let reference = Evaluator::new(&log);
         for threads in [1, 2, 3, 8] {
-            for src in ["SeeDoctor -> PayTreatment", "GetRefer ~> CheckIn", "A | SeeDoctor"] {
+            for src in [
+                "SeeDoctor -> PayTreatment",
+                "GetRefer ~> CheckIn",
+                "A | SeeDoctor",
+            ] {
                 let p = parse(src);
                 assert_eq!(
                     evaluate_parallel(&log, &p, threads, Strategy::Optimized),
@@ -157,13 +175,28 @@ mod tests {
     }
 
     #[test]
-    fn both_strategies_work_under_parallelism() {
+    fn all_strategies_work_under_parallelism() {
         let log = many_instances(16);
         let p = parse("A -> (B & C)");
-        assert_eq!(
-            evaluate_parallel(&log, &p, 4, Strategy::NaivePaper),
-            evaluate_parallel(&log, &p, 4, Strategy::Optimized)
-        );
+        let naive = evaluate_parallel(&log, &p, 4, Strategy::NaivePaper);
+        assert_eq!(naive, evaluate_parallel(&log, &p, 4, Strategy::Optimized));
+        assert_eq!(naive, evaluate_parallel(&log, &p, 4, Strategy::Batch));
+    }
+
+    #[test]
+    fn batch_workers_match_sequential_on_many_instances() {
+        let log = many_instances(48);
+        let reference = Evaluator::with_strategy(&log, Strategy::Batch);
+        for src in ["A -> B", "(A & D) | (B ~> C)", "!A ~> D"] {
+            let p = parse(src);
+            for threads in [2, 5] {
+                assert_eq!(
+                    evaluate_parallel(&log, &p, threads, Strategy::Batch),
+                    reference.evaluate(&p),
+                    "threads={threads} pattern={src}"
+                );
+            }
+        }
     }
 
     #[test]

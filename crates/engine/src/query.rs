@@ -36,7 +36,12 @@ impl Query {
     /// Builds a query from an already-constructed pattern.
     #[must_use]
     pub fn new(pattern: Pattern) -> Self {
-        Query { pattern, strategy: Strategy::default(), optimize: true, threads: 1 }
+        Query {
+            pattern,
+            strategy: Strategy::default(),
+            optimize: true,
+            threads: 1,
+        }
     }
 
     /// Parses the pattern text syntax into a query.
@@ -49,7 +54,7 @@ impl Query {
     }
 
     /// Chooses the operator implementations (default:
-    /// [`Strategy::Optimized`]).
+    /// [`Strategy::Batch`]).
     #[must_use]
     pub fn strategy(mut self, strategy: Strategy) -> Self {
         self.strategy = strategy;
@@ -197,7 +202,11 @@ fn attr_value_at(log: &Log, wid: Wid, position: wlq_log::IsLsn, attr: &str) -> V
         if record.is_lsn() > position {
             break;
         }
-        if let Some(v) = record.output().get(attr).or_else(|| record.input().get(attr)) {
+        if let Some(v) = record
+            .output()
+            .get(attr)
+            .or_else(|| record.input().get(attr))
+        {
             latest = v.clone();
         }
     }
@@ -229,7 +238,11 @@ impl std::fmt::Display for QueryProfile {
             self.incidents.len(),
             self.incidents.num_matched_instances()
         )?;
-        writeln!(f, "time  : plan {:?}, eval {:?}", self.plan_time, self.eval_time)
+        writeln!(
+            f,
+            "time  : plan {:?}, eval {:?}",
+            self.plan_time, self.eval_time
+        )
     }
 }
 
@@ -267,8 +280,12 @@ mod tests {
         let a = q.clone().strategy(Strategy::NaivePaper).find(&log);
         let b = q.clone().strategy(Strategy::Optimized).find(&log);
         let c = q.clone().threads(4).find(&log);
+        let d = q.clone().strategy(Strategy::Batch).find(&log);
+        let e = q.clone().strategy(Strategy::Batch).threads(4).find(&log);
         assert_eq!(a, b);
         assert_eq!(b, c);
+        assert_eq!(b, d);
+        assert_eq!(b, e);
     }
 
     #[test]

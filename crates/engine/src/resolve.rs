@@ -45,7 +45,10 @@ impl Incident {
     /// `{l13, l14, l20}`.
     #[must_use]
     pub fn display_in<'a>(&'a self, log: &'a Log) -> IncidentInLog<'a> {
-        IncidentInLog { incident: self, log }
+        IncidentInLog {
+            incident: self,
+            log,
+        }
     }
 }
 

@@ -76,8 +76,7 @@ impl Query {
     #[must_use]
     pub fn find_first(&self, log: &Log, limit: usize) -> IncidentSet {
         let plan = self.plan(log);
-        let evaluator =
-            crate::eval::Evaluator::with_strategy(log, self.strategy_setting());
+        let evaluator = crate::eval::Evaluator::with_strategy(log, self.strategy_setting());
         let mut out = IncidentSet::new();
         for wid in evaluator.index().wids() {
             if out.len() >= limit {
@@ -132,8 +131,10 @@ mod tests {
     fn span_distribution_over_multiple_incidents() {
         let log = paper::figure3_log();
         // SeeDoctor ~> PayTreatment: three incidents, each span 1.
-        let stats =
-            Query::parse("SeeDoctor ~> PayTreatment").unwrap().span_stats(&log).unwrap();
+        let stats = Query::parse("SeeDoctor ~> PayTreatment")
+            .unwrap()
+            .span_stats(&log)
+            .unwrap();
         assert_eq!(stats.count, 3);
         assert_eq!((stats.min, stats.median, stats.max), (1, 1, 1));
         // Display is informative.

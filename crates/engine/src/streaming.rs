@@ -23,7 +23,7 @@ use wlq_pattern::{Atom, Op, Pattern};
 
 use crate::eval::{combine, Strategy};
 use crate::incident::Incident;
-use crate::incident_set::IncidentSet;
+use crate::incident_set::{merge_sorted, IncidentSet};
 
 /// A node of the streaming incident tree, holding accumulated incidents.
 #[derive(Debug, Clone)]
@@ -43,7 +43,10 @@ enum SNode {
 impl SNode {
     fn from_pattern(p: &Pattern) -> SNode {
         match p {
-            Pattern::Atom(a) => SNode::Leaf { atom: a.clone(), incidents: BTreeMap::new() },
+            Pattern::Atom(a) => SNode::Leaf {
+                atom: a.clone(),
+                incidents: BTreeMap::new(),
+            },
             Pattern::Binary { op, left, right } => SNode::Op {
                 op: *op,
                 left: Box::new(SNode::from_pattern(left)),
@@ -105,20 +108,19 @@ impl SNode {
                     Vec::new()
                 }
             }
-            SNode::Op { op, left, right, .. } => {
+            SNode::Op {
+                op, left, right, ..
+            } => {
                 let op = *op;
                 // Snapshot the left side *before* the record is applied.
                 let old_left: Vec<Incident> = left.incidents(wid).to_vec();
                 let delta_left = left.push(record, strategy);
                 let delta_right = right.push(record, strategy);
-                let mut delta = Vec::new();
-                match op {
-                    Op::Choice => {
-                        delta.extend(delta_left);
-                        delta.extend(delta_right);
-                        delta.sort_unstable();
-                        delta.dedup();
-                    }
+                // Every term below is sorted and deduplicated (leaf
+                // emission appends in is-lsn order, operators finish
+                // sorted), so deltas union by linear merge.
+                let delta = match op {
+                    Op::Choice => merge_sorted(delta_left, delta_right),
                     _ => {
                         // New pairs: (Δ1 × old2) ∪ ((old1 ∪ Δ1) × Δ2).
                         let old_right: Vec<Incident> = {
@@ -130,16 +132,12 @@ impl SNode {
                                 .cloned()
                                 .collect()
                         };
-                        delta.extend(combine(strategy, op, &delta_left, &old_right));
-                        let mut new_left = old_left;
-                        new_left.extend(delta_left);
-                        new_left.sort_unstable();
-                        new_left.dedup();
-                        delta.extend(combine(strategy, op, &new_left, &delta_right));
-                        delta.sort_unstable();
-                        delta.dedup();
+                        let first = combine(strategy, op, &delta_left, &old_right);
+                        let new_left = merge_sorted(old_left, delta_left);
+                        let second = combine(strategy, op, &new_left, &delta_right);
+                        merge_sorted(first, second)
                     }
-                }
+                };
                 self.absorb(wid, delta)
             }
         }
@@ -175,7 +173,7 @@ pub struct StreamingEvaluator {
 
 impl StreamingEvaluator {
     /// Creates a streaming evaluator for `pattern` with the default
-    /// (optimized) operator implementations.
+    /// ([`Strategy::Batch`]) operator implementations.
     #[must_use]
     pub fn new(pattern: Pattern) -> Self {
         Self::with_strategy(pattern, Strategy::default())
@@ -217,14 +215,24 @@ impl StreamingEvaluator {
     pub fn append(&mut self, record: &LogRecord) -> Result<Vec<Incident>, LogError> {
         let wid = record.wid();
         if self.closed.get(&wid).copied().unwrap_or(false) {
-            return Err(LogError::RecordAfterEnd { wid, lsn: record.lsn() });
+            return Err(LogError::RecordAfterEnd {
+                wid,
+                lsn: record.lsn(),
+            });
         }
         let expected = self.next_is_lsn.get(&wid).copied().unwrap_or(IsLsn::FIRST);
         if record.is_lsn() != expected {
-            return Err(LogError::NonConsecutiveIsLsn { wid, expected, found: record.is_lsn() });
+            return Err(LogError::NonConsecutiveIsLsn {
+                wid,
+                expected,
+                found: record.is_lsn(),
+            });
         }
         if (record.is_lsn() == IsLsn::FIRST) != record.is_start() {
-            return Err(LogError::StartMismatch { lsn: record.lsn(), wid });
+            return Err(LogError::StartMismatch {
+                lsn: record.lsn(),
+                wid,
+            });
         }
         self.next_is_lsn.insert(wid, expected.next());
         if record.is_end() {
@@ -259,7 +267,9 @@ impl SharedStreamingEvaluator {
     /// Wraps a streaming evaluator for shared use.
     #[must_use]
     pub fn new(pattern: Pattern) -> Self {
-        SharedStreamingEvaluator { inner: Mutex::new(StreamingEvaluator::new(pattern)) }
+        SharedStreamingEvaluator {
+            inner: Mutex::new(StreamingEvaluator::new(pattern)),
+        }
     }
 
     /// Appends a record under the lock; see [`StreamingEvaluator::append`].
@@ -321,8 +331,32 @@ mod tests {
         ] {
             let (stream, deltas) = replay(src);
             let expected = batch.evaluate(&parse(src));
-            assert_eq!(stream.incidents(), expected, "accumulated mismatch on {src}");
+            assert_eq!(
+                stream.incidents(),
+                expected,
+                "accumulated mismatch on {src}"
+            );
             assert_eq!(deltas, expected, "delta union mismatch on {src}");
+        }
+    }
+
+    #[test]
+    fn all_strategies_stream_identically() {
+        let log = paper::figure3_log();
+        for src in [
+            "SeeDoctor ~> PayTreatment",
+            "GetRefer -> (SeeDoctor & PayTreatment)",
+        ] {
+            let mut sets = Vec::new();
+            for strategy in [Strategy::NaivePaper, Strategy::Optimized, Strategy::Batch] {
+                let mut stream = StreamingEvaluator::with_strategy(parse(src), strategy);
+                for record in log.iter() {
+                    stream.append(record).unwrap();
+                }
+                sets.push(stream.incidents());
+            }
+            assert_eq!(sets[0], sets[1], "optimized streaming mismatch on {src}");
+            assert_eq!(sets[0], sets[2], "batch streaming mismatch on {src}");
         }
     }
 
@@ -364,7 +398,14 @@ mod tests {
         let mut stream = StreamingEvaluator::new(parse("A"));
         stream.append(&LogRecord::start(1, 1u64)).unwrap();
         stream.append(&LogRecord::end(2, 1u64, 2u32)).unwrap();
-        let extra = LogRecord::new(3u64, 1u64, 3u32, "A", Default::default(), Default::default());
+        let extra = LogRecord::new(
+            3u64,
+            1u64,
+            3u32,
+            "A",
+            Default::default(),
+            Default::default(),
+        );
         assert!(matches!(
             stream.append(&extra).unwrap_err(),
             LogError::RecordAfterEnd { .. }
@@ -375,7 +416,14 @@ mod tests {
     fn first_record_must_be_start() {
         use wlq_log::LogRecord;
         let mut stream = StreamingEvaluator::new(parse("A"));
-        let bad = LogRecord::new(1u64, 1u64, 1u32, "A", Default::default(), Default::default());
+        let bad = LogRecord::new(
+            1u64,
+            1u64,
+            1u32,
+            "A",
+            Default::default(),
+            Default::default(),
+        );
         assert!(matches!(
             stream.append(&bad).unwrap_err(),
             LogError::StartMismatch { .. }

@@ -124,7 +124,9 @@ impl IncidentTree {
     /// Algorithm 3).
     #[must_use]
     pub fn from_pattern(p: &Pattern) -> Self {
-        IncidentTree { root: Node::from_pattern(p) }
+        IncidentTree {
+            root: Node::from_pattern(p),
+        }
     }
 
     /// Builds the incident tree from a postfix item sequence — the
@@ -287,7 +289,7 @@ mod tests {
         let index = LogIndex::build(&log);
         let tree =
             IncidentTree::from_pattern(&pattern("SeeDoctor -> (UpdateRefer -> GetReimburse)"));
-        for strategy in [Strategy::NaivePaper, Strategy::Optimized] {
+        for strategy in [Strategy::NaivePaper, Strategy::Optimized, Strategy::Batch] {
             let set = tree.evaluate(&log, &index, strategy);
             assert_eq!(set.len(), 1, "{strategy:?}");
             let o = set.iter().next().unwrap();
@@ -318,7 +320,10 @@ mod tests {
         assert_eq!(trace.nodes[2].incidents.len(), 2); // l15, l20
         assert_eq!(trace.nodes[3].pattern, "UpdateRefer -> GetReimburse");
         assert_eq!(trace.nodes[3].incidents.len(), 1); // {l14, l20}
-        assert_eq!(trace.root().pattern, "SeeDoctor -> (UpdateRefer -> GetReimburse)");
+        assert_eq!(
+            trace.root().pattern,
+            "SeeDoctor -> (UpdateRefer -> GetReimburse)"
+        );
         assert_eq!(trace.root().incidents, set);
         // Depths: leaves of the inner node are depth 2.
         assert_eq!(trace.nodes[0].depth, 1);

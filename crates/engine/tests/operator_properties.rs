@@ -6,7 +6,9 @@
 
 use proptest::prelude::{prop, prop_assert, prop_assert_eq, proptest, Strategy};
 
-use wlq_engine::{combine, naive, optimized, Incident, Strategy as EvalStrategy};
+use wlq_engine::{
+    combine, combine_batch, naive, optimized, Incident, IncidentBatch, Strategy as EvalStrategy,
+};
 use wlq_log::{IsLsn, Wid};
 use wlq_pattern::Op;
 
@@ -14,22 +16,17 @@ use wlq_pattern::Op;
 /// incidents of 1–4 records at positions 1–12 (dense, so overlaps and
 /// adjacencies are common).
 fn arb_incidents() -> impl Strategy<Value = Vec<Incident>> {
-    prop::collection::vec(prop::collection::btree_set(1u32..13, 1..5), 0..8).prop_map(
-        |sets| {
-            let mut incidents: Vec<Incident> = sets
-                .into_iter()
-                .map(|positions| {
-                    Incident::from_positions(
-                        Wid(1),
-                        positions.into_iter().map(IsLsn).collect(),
-                    )
-                })
-                .collect();
-            incidents.sort_unstable();
-            incidents.dedup();
-            incidents
-        },
-    )
+    prop::collection::vec(prop::collection::btree_set(1u32..13, 1..5), 0..8).prop_map(|sets| {
+        let mut incidents: Vec<Incident> = sets
+            .into_iter()
+            .map(|positions| {
+                Incident::from_positions(Wid(1), positions.into_iter().map(IsLsn).collect())
+            })
+            .collect();
+        incidents.sort_unstable();
+        incidents.dedup();
+        incidents
+    })
 }
 
 proptest! {
@@ -52,12 +49,22 @@ proptest! {
             naive::parallel_eval(&left, &right),
             optimized::parallel_eval(&left, &right)
         );
-        // The dispatch wrapper agrees with the direct calls.
+        // The dispatch wrapper agrees with the direct calls, and the flat
+        // batch kernels with both — via the dispatcher (which converts at
+        // the boundary) and on prebuilt batches.
+        let lb = IncidentBatch::from_incidents(Wid(1), &left);
+        let rb = IncidentBatch::from_incidents(Wid(1), &right);
         for op in Op::ALL {
+            let reference = combine(EvalStrategy::NaivePaper, op, &left, &right);
             prop_assert_eq!(
-                combine(EvalStrategy::NaivePaper, op, &left, &right),
-                combine(EvalStrategy::Optimized, op, &left, &right)
+                &reference,
+                &combine(EvalStrategy::Optimized, op, &left, &right)
             );
+            prop_assert_eq!(
+                &reference,
+                &combine(EvalStrategy::Batch, op, &left, &right)
+            );
+            prop_assert_eq!(&reference, &combine_batch(op, &lb, &rb).into_incidents());
         }
     }
 

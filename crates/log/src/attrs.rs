@@ -52,11 +52,7 @@ impl AttrMap {
     }
 
     /// Sets `name` to `value`, returning the previous value if any.
-    pub fn set(
-        &mut self,
-        name: impl Into<AttrName>,
-        value: impl Into<Value>,
-    ) -> Option<Value> {
+    pub fn set(&mut self, name: impl Into<AttrName>, value: impl Into<Value>) -> Option<Value> {
         self.entries.insert(name.into(), value.into())
     }
 

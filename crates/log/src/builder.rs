@@ -72,8 +72,13 @@ impl LogBuilder {
         self.next_wid += 1;
         let wid = Wid(self.next_wid);
         self.records.push(LogRecord::start(self.next_lsn(), wid));
-        self.state
-            .insert(wid, InstanceState { next_is_lsn: IsLsn(2), closed: false });
+        self.state.insert(
+            wid,
+            InstanceState {
+                next_is_lsn: IsLsn(2),
+                closed: false,
+            },
+        );
         wid
     }
 
@@ -91,8 +96,13 @@ impl LogBuilder {
         }
         self.next_wid = self.next_wid.max(wid.get());
         self.records.push(LogRecord::start(self.next_lsn(), wid));
-        self.state
-            .insert(wid, InstanceState { next_is_lsn: IsLsn(2), closed: false });
+        self.state.insert(
+            wid,
+            InstanceState {
+                next_is_lsn: IsLsn(2),
+                closed: false,
+            },
+        );
         Ok(())
     }
 

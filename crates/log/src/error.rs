@@ -142,11 +142,27 @@ mod tests {
         let msgs = [
             LogError::Empty.to_string(),
             LogError::DuplicateLsn(Lsn(3)).to_string(),
-            LogError::LsnGap { expected: Lsn(2), found: Lsn(5) }.to_string(),
-            LogError::StartMismatch { lsn: Lsn(1), wid: Wid(1) }.to_string(),
-            LogError::NonConsecutiveIsLsn { wid: Wid(2), expected: IsLsn(3), found: IsLsn(5) }
-                .to_string(),
-            LogError::RecordAfterEnd { wid: Wid(1), lsn: Lsn(9) }.to_string(),
+            LogError::LsnGap {
+                expected: Lsn(2),
+                found: Lsn(5),
+            }
+            .to_string(),
+            LogError::StartMismatch {
+                lsn: Lsn(1),
+                wid: Wid(1),
+            }
+            .to_string(),
+            LogError::NonConsecutiveIsLsn {
+                wid: Wid(2),
+                expected: IsLsn(3),
+                found: IsLsn(5),
+            }
+            .to_string(),
+            LogError::RecordAfterEnd {
+                wid: Wid(1),
+                lsn: Lsn(9),
+            }
+            .to_string(),
             LogError::UnknownInstance(Wid(4)).to_string(),
             LogError::InstanceClosed(Wid(4)).to_string(),
         ];

@@ -49,7 +49,10 @@ impl LogIndex {
             }
             sequences.insert(wid, seq);
         }
-        LogIndex { postings, sequences }
+        LogIndex {
+            postings,
+            sequences,
+        }
     }
 
     /// The instance ids covered by the index, ascending.
@@ -104,9 +107,7 @@ impl LogIndex {
     /// selectivity statistic the optimizer uses.
     #[must_use]
     pub fn total_count(&self, activity: &str) -> usize {
-        self.wids()
-            .map(|w| self.postings(w, activity).len())
-            .sum()
+        self.wids().map(|w| self.postings(w, activity).len()).sum()
     }
 }
 

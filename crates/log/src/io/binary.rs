@@ -87,7 +87,10 @@ fn put_value(buf: &mut BytesMut, v: &Value) {
 /// [`ParseLogError::Invalid`] if the decoded records violate Definition 2.
 pub fn read_binary(mut data: Bytes) -> Result<Log, ParseLogError> {
     fn bad(message: impl Into<String>) -> ParseLogError {
-        ParseLogError::BadShape { line: 0, message: message.into() }
+        ParseLogError::BadShape {
+            line: 0,
+            message: message.into(),
+        }
     }
     if data.remaining() < 12 {
         return Err(bad("input shorter than header"));
@@ -110,7 +113,14 @@ pub fn read_binary(mut data: Bytes) -> Result<Log, ParseLogError> {
         let act = get_str(&mut data).ok_or_else(err)?;
         let input = get_map(&mut data).ok_or_else(err)?;
         let output = get_map(&mut data).ok_or_else(err)?;
-        records.push(LogRecord::new(lsn, wid, is_lsn, act.as_str(), input, output));
+        records.push(LogRecord::new(
+            lsn,
+            wid,
+            is_lsn,
+            act.as_str(),
+            input,
+            output,
+        ));
     }
     if data.has_remaining() {
         return Err(bad("trailing bytes after last record"));

@@ -93,7 +93,14 @@ pub fn read_csv(text: &str) -> Result<Log, ParseLogError> {
         }
         let input = parse_semi_map(&fields[4], line_no)?;
         let output = parse_semi_map(&fields[5], line_no)?;
-        records.push(LogRecord::new(lsn, wid, is_lsn, fields[3].as_str(), input, output));
+        records.push(LogRecord::new(
+            lsn,
+            wid,
+            is_lsn,
+            fields[3].as_str(),
+            input,
+            output,
+        ));
     }
     Ok(Log::new(records)?)
 }
@@ -201,8 +208,13 @@ mod tests {
         // An attribute value with a comma forces quoting of the map column.
         let mut b = crate::LogBuilder::new();
         let w = b.start_instance();
-        b.append(w, "A", crate::attrs! { "note" => "x, y" }, crate::AttrMap::new())
-            .unwrap();
+        b.append(
+            w,
+            "A",
+            crate::attrs! { "note" => "x, y" },
+            crate::AttrMap::new(),
+        )
+        .unwrap();
         let log = b.build().unwrap();
         let back = read_csv(&write_csv(&log)).unwrap();
         assert_eq!(

@@ -45,9 +45,17 @@ pub(crate) fn render_value(v: &Value) -> String {
             // trailing `.0`, non-finite values use the reserved tokens
             // recognised by `parse_rendered_value`.
             if x.is_nan() {
-                if x.is_sign_negative() { "-NaN".to_string() } else { "NaN".to_string() }
+                if x.is_sign_negative() {
+                    "-NaN".to_string()
+                } else {
+                    "NaN".to_string()
+                }
             } else if x.is_infinite() {
-                if *x > 0.0 { "inf".to_string() } else { "-inf".to_string() }
+                if *x > 0.0 {
+                    "inf".to_string()
+                } else {
+                    "-inf".to_string()
+                }
             } else {
                 let mut s = format!("{x}");
                 if !s.contains(['.', 'e', 'E']) {
@@ -158,7 +166,10 @@ mod tests {
     fn plain_values_render_unquoted() {
         assert_eq!(render_value(&Value::Int(42)), "42");
         assert_eq!(render_value(&Value::from("active")), "active");
-        assert_eq!(render_value(&Value::from("Public Hospital")), "Public Hospital");
+        assert_eq!(
+            render_value(&Value::from("Public Hospital")),
+            "Public Hospital"
+        );
         assert_eq!(render_value(&Value::Undefined), "⊥");
     }
 

@@ -102,7 +102,14 @@ fn parse_line(line: &str, line_no: usize) -> Result<LogRecord, ParseLogError> {
     }
     let input = parse_attr_map(&fields[4], line_no)?;
     let output = parse_attr_map(&fields[5], line_no)?;
-    Ok(LogRecord::new(lsn, wid, is_lsn, fields[3].as_str(), input, output))
+    Ok(LogRecord::new(
+        lsn,
+        wid,
+        is_lsn,
+        fields[3].as_str(),
+        input,
+        output,
+    ))
 }
 
 pub(crate) fn parse_attr_map(text: &str, line_no: usize) -> Result<AttrMap, ParseLogError> {
@@ -176,7 +183,13 @@ lsn | wid | is-lsn | t | in | out
         let err = read_text("1 | y | 1 | START | - | -").unwrap_err();
         assert!(matches!(err, ParseLogError::BadNumber { field: "wid", .. }));
         let err = read_text("1 | 1 | z | START | - | -").unwrap_err();
-        assert!(matches!(err, ParseLogError::BadNumber { field: "is-lsn", .. }));
+        assert!(matches!(
+            err,
+            ParseLogError::BadNumber {
+                field: "is-lsn",
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -205,7 +218,10 @@ lsn | wid | is-lsn | t | in | out
         let text = "1 | 1 | 1 | START | - | -\n2 | 1 | 2 | A | - | hospital=Public Hospital";
         let log = read_text(text).unwrap();
         assert_eq!(
-            log.record(Wid(1), 2u32.into()).unwrap().output().get_or_undefined("hospital"),
+            log.record(Wid(1), 2u32.into())
+                .unwrap()
+                .output()
+                .get_or_undefined("hospital"),
             Value::from("Public Hospital")
         );
     }

@@ -120,13 +120,20 @@ pub fn read_xes(text: &str) -> Result<Log, ParseLogError> {
             "trace" if !tag.closing => current_wid = None,
             "event" if !tag.closing => event = Some(EventBuilder::default()),
             "event" if tag.closing => {
-                let builder = event.take().ok_or_else(|| bad(parser.line, "</event> without <event>"))?;
-                let wid = current_wid.ok_or_else(|| bad(parser.line, "event before trace concept:name"))?;
+                let builder = event
+                    .take()
+                    .ok_or_else(|| bad(parser.line, "</event> without <event>"))?;
+                let wid = current_wid
+                    .ok_or_else(|| bad(parser.line, "event before trace concept:name"))?;
                 records.push(builder.finish(wid, parser.line)?);
             }
             "string" | "int" | "float" | "boolean" => {
-                let key = tag.attr("key").ok_or_else(|| bad(parser.line, "attribute without key"))?;
-                let value = tag.attr("value").ok_or_else(|| bad(parser.line, "attribute without value"))?;
+                let key = tag
+                    .attr("key")
+                    .ok_or_else(|| bad(parser.line, "attribute without key"))?;
+                let value = tag
+                    .attr("value")
+                    .ok_or_else(|| bad(parser.line, "attribute without value"))?;
                 if let Some(ev) = event.as_mut() {
                     ev.set(&tag.name, &key, &value, parser.line)?;
                 } else if key == "concept:name" {
@@ -144,7 +151,10 @@ pub fn read_xes(text: &str) -> Result<Log, ParseLogError> {
 }
 
 fn bad(line: usize, message: impl Into<String>) -> ParseLogError {
-    ParseLogError::BadShape { line, message: message.into() }
+    ParseLogError::BadShape {
+        line,
+        message: message.into(),
+    }
 }
 
 #[derive(Default)]
@@ -173,7 +183,8 @@ impl EventBuilder {
         match key {
             "concept:name" => self.activity = Some(unescape(raw)),
             "wlq:islsn" => {
-                self.is_lsn = Some(value.as_int().ok_or_else(|| bad(line, "islsn not int"))? as u32);
+                self.is_lsn =
+                    Some(value.as_int().ok_or_else(|| bad(line, "islsn not int"))? as u32);
             }
             "wlq:lsn" => {
                 self.lsn = Some(value.as_int().ok_or_else(|| bad(line, "lsn not int"))? as u64);
@@ -190,10 +201,21 @@ impl EventBuilder {
     }
 
     fn finish(self, wid: Wid, line: usize) -> Result<LogRecord, ParseLogError> {
-        let activity = self.activity.ok_or_else(|| bad(line, "event without concept:name"))?;
-        let is_lsn = self.is_lsn.ok_or_else(|| bad(line, "event without wlq:islsn"))?;
+        let activity = self
+            .activity
+            .ok_or_else(|| bad(line, "event without concept:name"))?;
+        let is_lsn = self
+            .is_lsn
+            .ok_or_else(|| bad(line, "event without wlq:islsn"))?;
         let lsn = self.lsn.ok_or_else(|| bad(line, "event without wlq:lsn"))?;
-        Ok(LogRecord::new(lsn, wid, is_lsn, activity.as_str(), self.input, self.output))
+        Ok(LogRecord::new(
+            lsn,
+            wid,
+            is_lsn,
+            activity.as_str(),
+            self.input,
+            self.output,
+        ))
     }
 }
 
@@ -221,7 +243,10 @@ struct XmlScanner<'a> {
 
 impl<'a> XmlScanner<'a> {
     fn new(text: &'a str) -> Self {
-        XmlScanner { rest: text, line: 1 }
+        XmlScanner {
+            rest: text,
+            line: 1,
+        }
     }
 
     fn next_tag(&mut self) -> Result<Option<Tag>, ParseLogError> {
@@ -304,13 +329,8 @@ mod tests {
         use crate::{attrs, LogBuilder};
         let mut b = LogBuilder::new();
         let w = b.start_instance();
-        b.append(
-            w,
-            "A",
-            attrs! { "note" => "a<b & \"c\">d" },
-            attrs! {},
-        )
-        .unwrap();
+        b.append(w, "A", attrs! { "note" => "a<b & \"c\">d" }, attrs! {})
+            .unwrap();
         let log = b.build().unwrap();
         let back = read_xes(&write_xes(&log)).unwrap();
         assert_eq!(back, log);
@@ -343,7 +363,10 @@ mod tests {
         assert!(read_xes("").is_err()); // empty: no records → invalid log
         assert!(read_xes("<log><trace><event></event></trace></log>").is_err());
         assert!(read_xes("<log><unterminated").is_err());
-        assert!(read_xes("<log><event><string key=\"concept:name\" value=\"A\"/></event></log>").is_err());
+        assert!(
+            read_xes("<log><event><string key=\"concept:name\" value=\"A\"/></event></log>")
+                .is_err()
+        );
     }
 
     #[test]

@@ -87,7 +87,11 @@ impl Log {
             // Condition 3: consecutive is-lsn per instance, in lsn order.
             let expected = next_is_lsn.get(&wid).copied().unwrap_or(IsLsn::FIRST);
             if r.is_lsn() != expected {
-                return Err(LogError::NonConsecutiveIsLsn { wid, expected, found: r.is_lsn() });
+                return Err(LogError::NonConsecutiveIsLsn {
+                    wid,
+                    expected,
+                    found: r.is_lsn(),
+                });
             }
             next_is_lsn.insert(wid, expected.next());
             if r.is_end() {
@@ -179,11 +183,7 @@ impl Log {
     /// The distinct activity names occurring in the log, sorted.
     #[must_use]
     pub fn activities(&self) -> Vec<Activity> {
-        let mut set: Vec<Activity> = self
-            .records
-            .iter()
-            .map(|r| r.activity().clone())
-            .collect();
+        let mut set: Vec<Activity> = self.records.iter().map(|r| r.activity().clone()).collect();
         set.sort();
         set.dedup();
         set
@@ -206,7 +206,8 @@ impl Log {
             .by_wid
             .get(&wid)
             .ok_or(LogError::UnknownInstance(wid))?;
-        let mut records: Vec<LogRecord> = positions.iter().map(|&p| self.records[p].clone()).collect();
+        let mut records: Vec<LogRecord> =
+            positions.iter().map(|&p| self.records[p].clone()).collect();
         for (i, r) in records.iter_mut().enumerate() {
             r.set_lsn(Lsn(i as u64 + 1));
         }
@@ -291,16 +292,29 @@ mod tests {
         let rs = vec![LogRecord::start(1, 1u64), rec(3, 1, 2, "A")];
         assert_eq!(
             Log::new(rs),
-            Err(LogError::LsnGap { expected: Lsn(2), found: Lsn(3) })
+            Err(LogError::LsnGap {
+                expected: Lsn(2),
+                found: Lsn(3)
+            })
         );
     }
 
     #[test]
     fn lsn_zero_is_rejected() {
-        let rs = vec![LogRecord::new(0u64, 1u64, 1u32, "START", AttrMap::new(), AttrMap::new())];
+        let rs = vec![LogRecord::new(
+            0u64,
+            1u64,
+            1u32,
+            "START",
+            AttrMap::new(),
+            AttrMap::new(),
+        )];
         assert_eq!(
             Log::new(rs),
-            Err(LogError::LsnGap { expected: Lsn(1), found: Lsn(0) })
+            Err(LogError::LsnGap {
+                expected: Lsn(1),
+                found: Lsn(0)
+            })
         );
     }
 
@@ -310,7 +324,10 @@ mod tests {
         let rs = vec![rec(1, 1, 1, "A")];
         assert_eq!(
             Log::new(rs),
-            Err(LogError::StartMismatch { lsn: Lsn(1), wid: Wid(1) })
+            Err(LogError::StartMismatch {
+                lsn: Lsn(1),
+                wid: Wid(1)
+            })
         );
     }
 
@@ -323,7 +340,10 @@ mod tests {
         ];
         assert_eq!(
             Log::new(rs),
-            Err(LogError::StartMismatch { lsn: Lsn(2), wid: Wid(1) })
+            Err(LogError::StartMismatch {
+                lsn: Lsn(2),
+                wid: Wid(1)
+            })
         );
     }
 
@@ -364,7 +384,10 @@ mod tests {
         ];
         assert_eq!(
             Log::new(rs),
-            Err(LogError::RecordAfterEnd { wid: Wid(1), lsn: Lsn(3) })
+            Err(LogError::RecordAfterEnd {
+                wid: Wid(1),
+                lsn: Lsn(3)
+            })
         );
     }
 
@@ -374,7 +397,10 @@ mod tests {
         assert_eq!(log.get(Lsn(3)).unwrap().activity().as_str(), "A");
         assert_eq!(log.get(Lsn(0)), None);
         assert_eq!(log.get(Lsn(7)), None);
-        assert_eq!(log.record(Wid(2), IsLsn(2)).unwrap().activity().as_str(), "B");
+        assert_eq!(
+            log.record(Wid(2), IsLsn(2)).unwrap().activity().as_str(),
+            "B"
+        );
         assert_eq!(log.record(Wid(2), IsLsn(3)), None);
         assert_eq!(log.record(Wid(9), IsLsn(1)), None);
     }
@@ -392,7 +418,11 @@ mod tests {
     #[test]
     fn activities_are_sorted_and_deduped() {
         let log = Log::new(small_valid()).unwrap();
-        let acts: Vec<_> = log.activities().iter().map(|a| a.as_str().to_string()).collect();
+        let acts: Vec<_> = log
+            .activities()
+            .iter()
+            .map(|a| a.as_str().to_string())
+            .collect();
         assert_eq!(acts, ["A", "B", "C", "END", "START"]);
     }
 

@@ -137,7 +137,10 @@ mod tests {
     fn names_compare_by_content() {
         assert_eq!(Activity::new("A"), Activity::from("A"));
         assert_ne!(Activity::new("A"), Activity::new("B"));
-        assert_eq!(AttrName::new("balance"), AttrName::from("balance".to_string()));
+        assert_eq!(
+            AttrName::new("balance"),
+            AttrName::from("balance".to_string())
+        );
     }
 
     #[test]
@@ -176,6 +179,9 @@ mod tests {
     fn ordering_is_lexicographic() {
         let mut v = vec![Activity::new("b"), Activity::new("a"), Activity::new("c")];
         v.sort();
-        assert_eq!(v, vec![Activity::new("a"), Activity::new("b"), Activity::new("c")]);
+        assert_eq!(
+            v,
+            vec![Activity::new("a"), Activity::new("b"), Activity::new("c")]
+        );
     }
 }

@@ -44,8 +44,7 @@ impl Log {
     /// # Ok::<(), wlq_log::LogError>(())
     /// ```
     pub fn merge(logs: impl IntoIterator<Item = Log>) -> Result<Log, LogError> {
-        let sources: Vec<Vec<LogRecord>> =
-            logs.into_iter().map(Log::into_records).collect();
+        let sources: Vec<Vec<LogRecord>> = logs.into_iter().map(Log::into_records).collect();
         if sources.is_empty() {
             return Err(LogError::Empty);
         }
@@ -142,7 +141,10 @@ mod tests {
         assert_eq!(merged.len(), a.len() + b.len());
         assert_eq!(merged.num_instances(), 4);
         // lsns are 1..=len (validated by Log::new), wids dense 1..=4.
-        assert_eq!(merged.wids().map(Wid::get).collect::<Vec<_>>(), vec![1, 2, 3, 4]);
+        assert_eq!(
+            merged.wids().map(Wid::get).collect::<Vec<_>>(),
+            vec![1, 2, 3, 4]
+        );
     }
 
     #[test]
@@ -160,10 +162,7 @@ mod tests {
             .instance(update.wid())
             .map(|r| r.activity().as_str())
             .collect();
-        let orig: Vec<&str> = b
-            .instance(Wid(2))
-            .map(|r| r.activity().as_str())
-            .collect();
+        let orig: Vec<&str> = b.instance(Wid(2)).map(|r| r.activity().as_str()).collect();
         assert_eq!(acts, orig);
     }
 

@@ -247,9 +247,15 @@ mod tests {
         assert_eq!(l.is_lsn(), IsLsn(3));
         assert_eq!(l.activity().as_str(), "CheckIn");
         assert_eq!(l.input().get_or_undefined("referId"), Value::from("034d1"));
-        assert_eq!(l.input().get_or_undefined("referState"), Value::from("start"));
+        assert_eq!(
+            l.input().get_or_undefined("referState"),
+            Value::from("start")
+        );
         assert_eq!(l.input().get_or_undefined("balance"), Value::Int(1000));
-        assert_eq!(l.output().get_or_undefined("referState"), Value::from("active"));
+        assert_eq!(
+            l.output().get_or_undefined("referState"),
+            Value::from("active")
+        );
         assert_eq!(l.output().len(), 1);
     }
 

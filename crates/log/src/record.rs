@@ -139,12 +139,26 @@ impl LogRecord {
     /// Creates the `START` record opening instance `wid` (is-lsn 1, empty
     /// maps).
     pub fn start(lsn: impl Into<Lsn>, wid: impl Into<Wid>) -> Self {
-        LogRecord::new(lsn, wid, IsLsn::FIRST, Activity::start(), AttrMap::new(), AttrMap::new())
+        LogRecord::new(
+            lsn,
+            wid,
+            IsLsn::FIRST,
+            Activity::start(),
+            AttrMap::new(),
+            AttrMap::new(),
+        )
     }
 
     /// Creates the `END` record closing instance `wid` (empty maps).
     pub fn end(lsn: impl Into<Lsn>, wid: impl Into<Wid>, is_lsn: impl Into<IsLsn>) -> Self {
-        LogRecord::new(lsn, wid, is_lsn, Activity::end(), AttrMap::new(), AttrMap::new())
+        LogRecord::new(
+            lsn,
+            wid,
+            is_lsn,
+            Activity::end(),
+            AttrMap::new(),
+            AttrMap::new(),
+        )
     }
 
     /// The global log sequence number, `lsn(l)`.
@@ -262,7 +276,14 @@ mod tests {
 
     #[test]
     fn display_matches_figure3_layout() {
-        let l = LogRecord::new(4u64, 1u64, 3u32, "CheckIn", attrs! { "balance" => 1000i64 }, AttrMap::new());
+        let l = LogRecord::new(
+            4u64,
+            1u64,
+            3u32,
+            "CheckIn",
+            attrs! { "balance" => 1000i64 },
+            AttrMap::new(),
+        );
         assert_eq!(l.to_string(), "4 | 1 | 3 | CheckIn | balance=1000 | -");
     }
 

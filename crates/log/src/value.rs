@@ -284,7 +284,8 @@ fn looks_numeric(s: &str) -> bool {
         Some(c) if c.is_ascii_digit() || c == '-' || c == '+' || c == '.' => {}
         _ => return false,
     }
-    s.chars().all(|c| c.is_ascii_digit() || matches!(c, '.' | '-' | '+' | 'e' | 'E'))
+    s.chars()
+        .all(|c| c.is_ascii_digit() || matches!(c, '.' | '-' | '+' | 'e' | 'E'))
 }
 
 #[cfg(test)]

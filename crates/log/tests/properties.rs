@@ -2,7 +2,9 @@
 //! round-trips over randomly-shaped logs with arbitrary attribute values,
 //! and index consistency.
 
-use proptest::prelude::{any, prop, prop_assert, prop_assert_eq, prop_oneof, proptest, Just, Strategy};
+use proptest::prelude::{
+    any, prop, prop_assert, prop_assert_eq, prop_oneof, proptest, Just, Strategy,
+};
 
 use wlq_log::{io, AttrMap, Log, LogBuilder, LogIndex, LogStats, Value};
 
@@ -16,7 +18,11 @@ fn arb_value() -> impl Strategy<Value = Value> {
         // NaN as a token, so only sign and canonical payload survive.
         any::<f64>().prop_map(|x| {
             Value::Float(if x.is_nan() {
-                if x.is_sign_negative() { -f64::NAN } else { f64::NAN }
+                if x.is_sign_negative() {
+                    -f64::NAN
+                } else {
+                    f64::NAN
+                }
             } else {
                 x
             })

@@ -34,10 +34,20 @@ pub fn can_reassociate(upper: Op, lower: Op) -> bool {
 /// not reassociable.
 #[must_use]
 pub fn reassociate_left(p: &Pattern) -> Option<Pattern> {
-    let Pattern::Binary { op: t1, left: a, right } = p else {
+    let Pattern::Binary {
+        op: t1,
+        left: a,
+        right,
+    } = p
+    else {
         return None;
     };
-    let Pattern::Binary { op: t2, left: b, right: c } = right.as_ref() else {
+    let Pattern::Binary {
+        op: t2,
+        left: b,
+        right: c,
+    } = right.as_ref()
+    else {
         return None;
     };
     if !can_reassociate(*t1, *t2) {
@@ -53,10 +63,20 @@ pub fn reassociate_left(p: &Pattern) -> Option<Pattern> {
 /// Right-rotates `(a θ1 b) θ2 c` to `a θ1 (b θ2 c)` when Theorems 2/4 allow.
 #[must_use]
 pub fn reassociate_right(p: &Pattern) -> Option<Pattern> {
-    let Pattern::Binary { op: t2, left, right: c } = p else {
+    let Pattern::Binary {
+        op: t2,
+        left,
+        right: c,
+    } = p
+    else {
         return None;
     };
-    let Pattern::Binary { op: t1, left: a, right: b } = left.as_ref() else {
+    let Pattern::Binary {
+        op: t1,
+        left: a,
+        right: b,
+    } = left.as_ref()
+    else {
         return None;
     };
     if !can_reassociate(*t2, *t1) {
@@ -78,7 +98,11 @@ pub fn commute(p: &Pattern) -> Option<Pattern> {
     if !op.is_commutative() {
         return None;
     }
-    Some(Pattern::binary(*op, right.as_ref().clone(), left.as_ref().clone()))
+    Some(Pattern::binary(
+        *op,
+        right.as_ref().clone(),
+        left.as_ref().clone(),
+    ))
 }
 
 /// Distributes from the left over choice (Theorem 5, part 1):
@@ -88,7 +112,12 @@ pub fn distribute_left(p: &Pattern) -> Option<Pattern> {
     let Pattern::Binary { op, left: a, right } = p else {
         return None;
     };
-    let Pattern::Binary { op: Op::Choice, left: b, right: c } = right.as_ref() else {
+    let Pattern::Binary {
+        op: Op::Choice,
+        left: b,
+        right: c,
+    } = right.as_ref()
+    else {
         return None;
     };
     Some(Pattern::binary(
@@ -105,7 +134,12 @@ pub fn distribute_right(p: &Pattern) -> Option<Pattern> {
     let Pattern::Binary { op, left, right: c } = p else {
         return None;
     };
-    let Pattern::Binary { op: Op::Choice, left: a, right: b } = left.as_ref() else {
+    let Pattern::Binary {
+        op: Op::Choice,
+        left: a,
+        right: b,
+    } = left.as_ref()
+    else {
         return None;
     };
     Some(Pattern::binary(
@@ -120,13 +154,28 @@ pub fn distribute_right(p: &Pattern) -> Option<Pattern> {
 /// share `θ` and `a`.
 #[must_use]
 pub fn factor_left(p: &Pattern) -> Option<Pattern> {
-    let Pattern::Binary { op: Op::Choice, left, right } = p else {
+    let Pattern::Binary {
+        op: Op::Choice,
+        left,
+        right,
+    } = p
+    else {
         return None;
     };
-    let Pattern::Binary { op: t1, left: a1, right: b } = left.as_ref() else {
+    let Pattern::Binary {
+        op: t1,
+        left: a1,
+        right: b,
+    } = left.as_ref()
+    else {
         return None;
     };
-    let Pattern::Binary { op: t2, left: a2, right: c } = right.as_ref() else {
+    let Pattern::Binary {
+        op: t2,
+        left: a2,
+        right: c,
+    } = right.as_ref()
+    else {
         return None;
     };
     if t1 != t2 || a1 != a2 {
@@ -143,13 +192,28 @@ pub fn factor_left(p: &Pattern) -> Option<Pattern> {
 /// [`distribute_right`]): `(a θ c) ⊗ (b θ c) → (a ⊗ b) θ c`.
 #[must_use]
 pub fn factor_right(p: &Pattern) -> Option<Pattern> {
-    let Pattern::Binary { op: Op::Choice, left, right } = p else {
+    let Pattern::Binary {
+        op: Op::Choice,
+        left,
+        right,
+    } = p
+    else {
         return None;
     };
-    let Pattern::Binary { op: t1, left: a, right: c1 } = left.as_ref() else {
+    let Pattern::Binary {
+        op: t1,
+        left: a,
+        right: c1,
+    } = left.as_ref()
+    else {
         return None;
     };
-    let Pattern::Binary { op: t2, left: b, right: c2 } = right.as_ref() else {
+    let Pattern::Binary {
+        op: t2,
+        left: b,
+        right: c2,
+    } = right.as_ref()
+    else {
         return None;
     };
     if t1 != t2 || c1 != c2 {
@@ -284,7 +348,10 @@ pub fn flatten_chain(p: &Pattern) -> Chain {
         }
     }
     match p {
-        Pattern::Atom(_) => Chain { first: p.clone(), rest: Vec::new() },
+        Pattern::Atom(_) => Chain {
+            first: p.clone(),
+            rest: Vec::new(),
+        },
         Pattern::Binary { op, .. } => {
             let mut items: Vec<(Option<Op>, Pattern)> = Vec::new();
             walk(p, *op, &mut items);
@@ -362,7 +429,12 @@ mod tests {
 
     #[test]
     fn reassociation_applies_to_equal_ops() {
-        for src in ["(A -> B) -> C", "(A ~> B) ~> C", "(A | B) | C", "(A & B) & C"] {
+        for src in [
+            "(A -> B) -> C",
+            "(A ~> B) ~> C",
+            "(A | B) | C",
+            "(A & B) & C",
+        ] {
             let p = parse(src);
             let r = reassociate_right(&p).unwrap();
             assert_eq!(reassociate_left(&r).unwrap(), p);
@@ -482,10 +554,7 @@ mod tests {
             canonicalize(&parse("C | (B | A)")),
             canonicalize(&parse("(A | B) | C"))
         );
-        assert_eq!(
-            canonicalize(&parse("B & A")),
-            canonicalize(&parse("A & B"))
-        );
+        assert_eq!(canonicalize(&parse("B & A")), canonicalize(&parse("A & B")));
         // Non-commutative chains keep operand order.
         assert_ne!(
             canonicalize(&parse("A -> B")),
@@ -495,9 +564,18 @@ mod tests {
 
     #[test]
     fn ac_equivalence_examples() {
-        assert!(ac_equivalent(&parse("A -> (B -> C)"), &parse("(A -> B) -> C")));
-        assert!(ac_equivalent(&parse("A ~> (B -> C)"), &parse("(A ~> B) -> C")));
-        assert!(ac_equivalent(&parse("(A & B) & (C & D)"), &parse("D & C & B & A")));
+        assert!(ac_equivalent(
+            &parse("A -> (B -> C)"),
+            &parse("(A -> B) -> C")
+        ));
+        assert!(ac_equivalent(
+            &parse("A ~> (B -> C)"),
+            &parse("(A ~> B) -> C")
+        ));
+        assert!(ac_equivalent(
+            &parse("(A & B) & (C & D)"),
+            &parse("D & C & B & A")
+        ));
         assert!(!ac_equivalent(&parse("A -> B"), &parse("A ~> B")));
         // Distribution is *not* captured (documented incompleteness).
         assert!(!ac_equivalent(

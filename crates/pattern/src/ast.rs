@@ -174,7 +174,12 @@ pub struct Predicate {
 impl Predicate {
     /// Creates a predicate over [`Scope::Any`].
     pub fn new(attr: impl Into<AttrName>, op: CmpOp, value: impl Into<Value>) -> Self {
-        Predicate { scope: Scope::Any, attr: attr.into(), op, value: value.into() }
+        Predicate {
+            scope: Scope::Any,
+            attr: attr.into(),
+            op,
+            value: value.into(),
+        }
     }
 
     /// Restricts the predicate to a map.
@@ -250,12 +255,20 @@ pub struct Atom {
 impl Atom {
     /// The positive atom `t`.
     pub fn new(activity: impl Into<Activity>) -> Self {
-        Atom { activity: activity.into(), negated: false, predicates: Vec::new() }
+        Atom {
+            activity: activity.into(),
+            negated: false,
+            predicates: Vec::new(),
+        }
     }
 
     /// The negative atom `¬t`.
     pub fn negative(activity: impl Into<Activity>) -> Self {
-        Atom { activity: activity.into(), negated: true, predicates: Vec::new() }
+        Atom {
+            activity: activity.into(),
+            negated: true,
+            predicates: Vec::new(),
+        }
     }
 
     /// Adds an attribute condition (builder style).
@@ -334,7 +347,11 @@ impl Pattern {
     /// Composes two patterns under `op`.
     #[must_use]
     pub fn binary(op: Op, left: Pattern, right: Pattern) -> Self {
-        Pattern::Binary { op, left: Box::new(left), right: Box::new(right) }
+        Pattern::Binary {
+            op,
+            left: Box::new(left),
+            right: Box::new(right),
+        }
     }
 
     /// `self ⊙ other` (consecutive).
@@ -394,9 +411,7 @@ impl Pattern {
     pub fn num_operators(&self) -> usize {
         match self {
             Pattern::Atom(_) => 0,
-            Pattern::Binary { left, right, .. } => {
-                1 + left.num_operators() + right.num_operators()
-            }
+            Pattern::Binary { left, right, .. } => 1 + left.num_operators() + right.num_operators(),
         }
     }
 
@@ -444,9 +459,7 @@ impl Pattern {
     pub fn has_predicates(&self) -> bool {
         match self {
             Pattern::Atom(a) => !a.predicates.is_empty(),
-            Pattern::Binary { left, right, .. } => {
-                left.has_predicates() || right.has_predicates()
-            }
+            Pattern::Binary { left, right, .. } => left.has_predicates() || right.has_predicates(),
         }
     }
 
@@ -476,7 +489,9 @@ mod tests {
     fn combinators_build_the_expected_tree() {
         let pat = p("A").seq(p("B").cons(p("C")));
         assert_eq!(pat.op(), Some(Op::Sequential));
-        let Pattern::Binary { right, .. } = &pat else { panic!() };
+        let Pattern::Binary { right, .. } = &pat else {
+            panic!()
+        };
         assert_eq!(right.op(), Some(Op::Consecutive));
         assert_eq!(pat.num_atoms(), 3);
         assert_eq!(pat.num_operators(), 2);
@@ -507,9 +522,8 @@ mod tests {
         assert!(!p("A").has_negation());
         assert!(Pattern::not_atom("A").has_negation());
         assert!(p("A").seq(Pattern::not_atom("B")).has_negation());
-        let with_pred = Pattern::Atom(
-            Atom::new("A").with_predicate(Predicate::new("x", CmpOp::Gt, 5i64)),
-        );
+        let with_pred =
+            Pattern::Atom(Atom::new("A").with_predicate(Predicate::new("x", CmpOp::Gt, 5i64)));
         assert!(with_pred.has_predicates());
         assert!(!p("A").has_predicates());
     }
@@ -592,8 +606,7 @@ mod tests {
     fn atom_display_includes_negation_and_predicates() {
         assert_eq!(Atom::new("A").to_string(), "A");
         assert_eq!(Atom::negative("A").to_string(), "!A");
-        let a = Atom::new("GetRefer")
-            .with_predicate(Predicate::new("balance", CmpOp::Gt, 5000i64));
+        let a = Atom::new("GetRefer").with_predicate(Predicate::new("balance", CmpOp::Gt, 5000i64));
         assert_eq!(a.to_string(), "GetRefer[balance > 5000]");
     }
 }

@@ -147,10 +147,16 @@ mod tests {
 
     #[test]
     fn chain_builders_produce_left_deep_chains() {
-        assert_eq!(Pattern::ordered(["A", "B", "C"]).unwrap(), parse("A -> B -> C"));
+        assert_eq!(
+            Pattern::ordered(["A", "B", "C"]).unwrap(),
+            parse("A -> B -> C")
+        );
         assert_eq!(Pattern::directly(["A", "B"]).unwrap(), parse("A ~> B"));
         assert_eq!(Pattern::any_of(["A", "B"]).unwrap(), parse("A | B"));
-        assert_eq!(Pattern::all_of(["A", "B", "C"]).unwrap(), parse("A & B & C"));
+        assert_eq!(
+            Pattern::all_of(["A", "B", "C"]).unwrap(),
+            parse("A & B & C")
+        );
         assert_eq!(Pattern::ordered(Vec::<&str>::new()), None);
         assert_eq!(Pattern::ordered(["Solo"]).unwrap(), Pattern::atom("Solo"));
     }
@@ -168,8 +174,11 @@ mod tests {
     #[test]
     fn activities_collects_distinct_names() {
         let p = parse("A -> (B | A) & !C");
-        let names: Vec<String> =
-            p.activities().iter().map(|a| a.as_str().to_string()).collect();
+        let names: Vec<String> = p
+            .activities()
+            .iter()
+            .map(|a| a.as_str().to_string())
+            .collect();
         assert_eq!(names, ["A", "B", "C"]);
     }
 

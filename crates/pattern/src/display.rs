@@ -132,7 +132,10 @@ mod tests {
     #[test]
     fn example5_pattern_prints_like_the_paper() {
         let pat = p("SeeDoctor").seq(p("UpdateRefer").seq(p("GetReimburse")));
-        assert_eq!(pat.to_string(), "SeeDoctor -> (UpdateRefer -> GetReimburse)");
+        assert_eq!(
+            pat.to_string(),
+            "SeeDoctor -> (UpdateRefer -> GetReimburse)"
+        );
         assert_eq!(
             to_symbolic(&pat),
             "SeeDoctor → (UpdateRefer → GetReimburse)"

@@ -144,7 +144,9 @@ impl Optimizer {
     /// Creates an optimizer for logs matching `stats`.
     #[must_use]
     pub fn new(stats: LogStats) -> Self {
-        Optimizer { model: CostModel::new(stats) }
+        Optimizer {
+            model: CostModel::new(stats),
+        }
     }
 
     /// Access to the underlying cost model.
@@ -178,11 +180,21 @@ impl Optimizer {
         let cost_after = self.model.estimate_cost(&shaped);
         if cost_after > cost_before {
             decisions.push("rewrite estimated worse than input; kept input".to_string());
-            let report =
-                OptimizeReport { cost_before, cost_after: cost_before, decisions };
+            let report = OptimizeReport {
+                cost_before,
+                cost_after: cost_before,
+                decisions,
+            };
             return (p.clone(), report);
         }
-        (shaped, OptimizeReport { cost_before, cost_after, decisions })
+        (
+            shaped,
+            OptimizeReport {
+                cost_before,
+                cost_after,
+                decisions,
+            },
+        )
     }
 
     /// Bottom-up reshaping: chain DP for `{⊙, →}`, smallest-first for
@@ -213,12 +225,7 @@ impl Optimizer {
 
     /// Sorts the operands of a `⊗`/`⊕` chain by estimated incident count,
     /// smallest first (Theorems 2 + 3 make any order equivalent).
-    fn order_commutative(
-        &self,
-        op: Op,
-        chain: Chain,
-        decisions: &mut Vec<String>,
-    ) -> Pattern {
+    fn order_commutative(&self, op: Op, chain: Chain, decisions: &mut Vec<String>) -> Pattern {
         let mut operands: Vec<Pattern> = std::iter::once(chain.first)
             .chain(chain.rest.into_iter().map(|(_, q)| q))
             .collect();
@@ -290,11 +297,9 @@ impl Optimizer {
                 }
                 cost[i][j] = best;
                 split[i][j] = best_k;
-                size[i][j] = self.model.combine_estimate(
-                    ops[best_k],
-                    size[i][best_k],
-                    size[best_k + 1][j],
-                );
+                size[i][j] =
+                    self.model
+                        .combine_estimate(ops[best_k], size[i][best_k], size[best_k + 1][j]);
                 atoms[i][j] = atoms[i][best_k] + atoms[best_k + 1][j];
             }
         }
@@ -319,7 +324,11 @@ impl Optimizer {
         let result = rebuild(&operands, &ops, &split, 0, n - 1);
         let left = Chain {
             first: operands[0].clone(),
-            rest: ops.iter().copied().zip(operands[1..].iter().cloned()).collect(),
+            rest: ops
+                .iter()
+                .copied()
+                .zip(operands[1..].iter().cloned())
+                .collect(),
         }
         .left_deep();
         if result != left {

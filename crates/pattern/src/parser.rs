@@ -35,7 +35,12 @@ impl Pattern {
     /// ```
     pub fn parse(src: &str) -> Result<Pattern, ParsePatternError> {
         let tokens = tokenize(src)?;
-        Parser { tokens, pos: 0, src_len: src.len() }.parse_all()
+        Parser {
+            tokens,
+            pos: 0,
+            src_len: src.len(),
+        }
+        .parse_all()
     }
 }
 
@@ -153,7 +158,10 @@ impl Parser {
             negated = true;
         }
         let name = match self.next() {
-            Some(Spanned { token: Token::Ident(name), .. }) => name,
+            Some(Spanned {
+                token: Token::Ident(name),
+                ..
+            }) => name,
             Some(s) => {
                 return Err(ParsePatternError::new(
                     s.pos,
@@ -162,7 +170,11 @@ impl Parser {
             }
             None => return Err(self.err_end()),
         };
-        let mut atom = if negated { Atom::negative(name.as_str()) } else { Atom::new(name.as_str()) };
+        let mut atom = if negated {
+            Atom::negative(name.as_str())
+        } else {
+            Atom::new(name.as_str())
+        };
         if matches!(self.peek().map(|s| &s.token), Some(Token::LBracket)) {
             self.next();
             atom.predicates = self.parse_predicates()?;
@@ -176,8 +188,14 @@ impl Parser {
         loop {
             preds.push(self.parse_clause()?);
             match self.next() {
-                Some(Spanned { token: Token::Comma, .. }) => continue,
-                Some(Spanned { token: Token::RBracket, .. }) => return Ok(preds),
+                Some(Spanned {
+                    token: Token::Comma,
+                    ..
+                }) => continue,
+                Some(Spanned {
+                    token: Token::RBracket,
+                    ..
+                }) => return Ok(preds),
                 Some(s) => {
                     return Err(ParsePatternError::new(
                         s.pos,
@@ -195,7 +213,10 @@ impl Parser {
     /// `('in.'|'out.')? ident cmp value`
     fn parse_clause(&mut self) -> Result<Predicate, ParsePatternError> {
         let (first_pos, first_name) = match self.next() {
-            Some(Spanned { token: Token::Ident(n), pos }) => (pos, n),
+            Some(Spanned {
+                token: Token::Ident(n),
+                pos,
+            }) => (pos, n),
             Some(s) => {
                 return Err(ParsePatternError::new(
                     s.pos,
@@ -222,7 +243,10 @@ impl Parser {
                 }
             };
             let attr = match self.next() {
-                Some(Spanned { token: Token::Ident(n), .. }) => n,
+                Some(Spanned {
+                    token: Token::Ident(n),
+                    ..
+                }) => n,
                 Some(s) => {
                     return Err(ParsePatternError::new(
                         s.pos,
@@ -239,7 +263,10 @@ impl Parser {
             (Scope::Any, first_name)
         };
         let op = match self.next() {
-            Some(Spanned { token: Token::Cmp(op), .. }) => op,
+            Some(Spanned {
+                token: Token::Cmp(op),
+                ..
+            }) => op,
             Some(s) => {
                 return Err(ParsePatternError::new(
                     s.pos,
@@ -252,10 +279,22 @@ impl Parser {
             None => return Err(self.err_end()),
         };
         let value = match self.next() {
-            Some(Spanned { token: Token::Int(i), .. }) => Value::Int(i),
-            Some(Spanned { token: Token::Float(x), .. }) => Value::Float(x),
-            Some(Spanned { token: Token::Str(s), .. }) => Value::from(s),
-            Some(Spanned { token: Token::Ident(w), .. }) => match w.as_str() {
+            Some(Spanned {
+                token: Token::Int(i),
+                ..
+            }) => Value::Int(i),
+            Some(Spanned {
+                token: Token::Float(x),
+                ..
+            }) => Value::Float(x),
+            Some(Spanned {
+                token: Token::Str(s),
+                ..
+            }) => Value::from(s),
+            Some(Spanned {
+                token: Token::Ident(w),
+                ..
+            }) => match w.as_str() {
                 "true" => Value::Bool(true),
                 "false" => Value::Bool(false),
                 other => Value::from(other),
@@ -271,7 +310,12 @@ impl Parser {
             }
             None => return Err(self.err_end()),
         };
-        Ok(Predicate { scope, attr: attr.into(), op, value })
+        Ok(Predicate {
+            scope,
+            attr: attr.into(),
+            op,
+            value,
+        })
     }
 }
 
@@ -316,9 +360,13 @@ mod tests {
         let p = parse("A -> B & C | D");
         // Parses as ((A -> B) & C) | D.
         assert_eq!(p.op(), Some(Op::Choice));
-        let Pattern::Binary { left, .. } = &p else { panic!() };
+        let Pattern::Binary { left, .. } = &p else {
+            panic!()
+        };
         assert_eq!(left.op(), Some(Op::Parallel));
-        let Pattern::Binary { left: ll, .. } = left.as_ref() else { panic!() };
+        let Pattern::Binary { left: ll, .. } = left.as_ref() else {
+            panic!()
+        };
         assert_eq!(ll.op(), Some(Op::Sequential));
     }
 
@@ -327,7 +375,9 @@ mod tests {
         // A ~> B -> C parses as (A ~> B) -> C.
         let p = parse("A ~> B -> C");
         assert_eq!(p.op(), Some(Op::Sequential));
-        let Pattern::Binary { left, .. } = &p else { panic!() };
+        let Pattern::Binary { left, .. } = &p else {
+            panic!()
+        };
         assert_eq!(left.op(), Some(Op::Consecutive));
     }
 
@@ -335,7 +385,9 @@ mod tests {
     fn parens_override_precedence() {
         let p = parse("A -> (B | C)");
         assert_eq!(p.op(), Some(Op::Sequential));
-        let Pattern::Binary { right, .. } = &p else { panic!() };
+        let Pattern::Binary { right, .. } = &p else {
+            panic!()
+        };
         assert_eq!(right.op(), Some(Op::Choice));
     }
 
@@ -353,7 +405,11 @@ mod tests {
         ] {
             let p = parse(src);
             let printed = p.to_string();
-            assert_eq!(parse(&printed), p, "round trip failed for {src} -> {printed}");
+            assert_eq!(
+                parse(&printed),
+                p,
+                "round trip failed for {src} -> {printed}"
+            );
         }
     }
 
@@ -364,7 +420,8 @@ mod tests {
 
     #[test]
     fn predicates_parse_with_scopes_and_values() {
-        let p = parse(r#"GetRefer[out.balance > 5000, in.state = "start", year = 2017, ok = true]"#);
+        let p =
+            parse(r#"GetRefer[out.balance > 5000, in.state = "start", year = 2017, ok = true]"#);
         let atom = p.as_atom().unwrap();
         assert_eq!(atom.predicates.len(), 4);
         assert_eq!(atom.predicates[0].scope, Scope::Output);

@@ -111,7 +111,10 @@ mod tests {
 
     #[test]
     fn generated_patterns_respect_depth_bound() {
-        let config = PatternGenConfig { max_depth: 3, ..PatternGenConfig::default() };
+        let config = PatternGenConfig {
+            max_depth: 3,
+            ..PatternGenConfig::default()
+        };
         let mut rng = StdRng::seed_from_u64(42);
         for _ in 0..200 {
             let p = random_pattern(&mut rng, &config);
@@ -122,7 +125,10 @@ mod tests {
     #[test]
     fn generated_patterns_round_trip_through_text() {
         let mut rng = StdRng::seed_from_u64(1);
-        let config = PatternGenConfig { max_depth: 5, ..PatternGenConfig::default() };
+        let config = PatternGenConfig {
+            max_depth: 5,
+            ..PatternGenConfig::default()
+        };
         for _ in 0..200 {
             let p = random_pattern(&mut rng, &config);
             let reparsed: Pattern = p.to_string().parse().unwrap();
@@ -155,7 +161,9 @@ mod tests {
         assert_eq!(p.num_operators(), 4);
         assert_eq!(p.num_atoms(), 5);
         assert_eq!(p.depth(), 5);
-        let Pattern::Binary { op, right, .. } = &p else { panic!() };
+        let Pattern::Binary { op, right, .. } = &p else {
+            panic!()
+        };
         assert_eq!(*op, Op::Parallel);
         assert!(right.as_atom().is_some());
     }

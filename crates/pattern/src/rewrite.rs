@@ -59,7 +59,11 @@ fn reshape(p: &Pattern, right: bool) -> Pattern {
 pub fn choice_normal_form(p: &Pattern) -> Vec<Pattern> {
     match p {
         Pattern::Atom(_) => vec![p.clone()],
-        Pattern::Binary { op: Op::Choice, left, right } => {
+        Pattern::Binary {
+            op: Op::Choice,
+            left,
+            right,
+        } => {
             let mut out = choice_normal_form(left);
             out.extend(choice_normal_form(right));
             out
@@ -98,9 +102,7 @@ pub fn factor(p: &Pattern) -> Pattern {
     use crate::algebra::{factor_left, factor_right};
     let folded = match p {
         Pattern::Atom(_) => p.clone(),
-        Pattern::Binary { op, left, right } => {
-            Pattern::binary(*op, factor(left), factor(right))
-        }
+        Pattern::Binary { op, left, right } => Pattern::binary(*op, factor(left), factor(right)),
     };
     if let Some(q) = factor_left(&folded) {
         return factor(&q);
@@ -152,16 +154,20 @@ mod tests {
     #[test]
     fn cnf_distributes_nested_choices() {
         let p = parse("(A | B) -> (C | D)");
-        let alts: Vec<String> =
-            choice_normal_form(&p).iter().map(ToString::to_string).collect();
+        let alts: Vec<String> = choice_normal_form(&p)
+            .iter()
+            .map(ToString::to_string)
+            .collect();
         assert_eq!(alts, ["A -> C", "A -> D", "B -> C", "B -> D"]);
     }
 
     #[test]
     fn cnf_handles_choice_under_parallel() {
         let p = parse("A & (B | C)");
-        let alts: Vec<String> =
-            choice_normal_form(&p).iter().map(ToString::to_string).collect();
+        let alts: Vec<String> = choice_normal_form(&p)
+            .iter()
+            .map(ToString::to_string)
+            .collect();
         assert_eq!(alts, ["A & B", "A & C"]);
     }
 

@@ -129,7 +129,9 @@ mod tests {
     #[test]
     fn postfix_order_is_post_order() {
         // (A | B) -> C  ⇒  A B | C ->
-        let p = Pattern::atom("A").alt(Pattern::atom("B")).seq(Pattern::atom("C"));
+        let p = Pattern::atom("A")
+            .alt(Pattern::atom("B"))
+            .seq(Pattern::atom("C"));
         let rpn: Vec<String> = to_postfix(&p).iter().map(ToString::to_string).collect();
         assert_eq!(rpn, ["A", "B", "|", "C", "->"]);
     }

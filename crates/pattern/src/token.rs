@@ -105,7 +105,10 @@ pub fn tokenize(src: &str) -> Result<Vec<Spanned>, ParsePatternError> {
                     i += 2;
                     Token::Op(Op::Consecutive)
                 } else {
-                    return Err(ParsePatternError::new(pos, ParseErrorKind::UnexpectedChar('~')));
+                    return Err(ParsePatternError::new(
+                        pos,
+                        ParseErrorKind::UnexpectedChar('~'),
+                    ));
                 }
             }
             '-' => {
@@ -115,7 +118,10 @@ pub fn tokenize(src: &str) -> Result<Vec<Spanned>, ParsePatternError> {
                 } else if i + 1 < bytes.len() && bytes[i + 1].1.is_ascii_digit() {
                     lex_number(&bytes, &mut i)?
                 } else {
-                    return Err(ParsePatternError::new(pos, ParseErrorKind::UnexpectedChar('-')));
+                    return Err(ParsePatternError::new(
+                        pos,
+                        ParseErrorKind::UnexpectedChar('-'),
+                    ));
                 }
             }
             '!' => {
@@ -150,7 +156,10 @@ pub fn tokenize(src: &str) -> Result<Vec<Spanned>, ParsePatternError> {
             c if c.is_ascii_digit() => lex_number(&bytes, &mut i)?,
             c if is_ident_start(c) => lex_ident(&bytes, &mut i),
             other => {
-                return Err(ParsePatternError::new(pos, ParseErrorKind::UnexpectedChar(other)))
+                return Err(ParsePatternError::new(
+                    pos,
+                    ParseErrorKind::UnexpectedChar(other),
+                ))
             }
         };
         out.push(Spanned { token: tok, pos });
@@ -197,7 +206,9 @@ fn lex_number(bytes: &[(usize, char)], i: &mut usize) -> Result<Token, ParsePatt
         if c.is_ascii_digit() {
             s.push(c);
             *i += 1;
-        } else if c == '.' && !is_float && bytes.get(*i + 1).is_some_and(|&(_, d)| d.is_ascii_digit())
+        } else if c == '.'
+            && !is_float
+            && bytes.get(*i + 1).is_some_and(|&(_, d)| d.is_ascii_digit())
         {
             is_float = true;
             s.push(c);
@@ -245,7 +256,10 @@ fn lex_string(
             other => s.push(other),
         }
     }
-    Err(ParsePatternError::new(start, ParseErrorKind::UnterminatedString))
+    Err(ParsePatternError::new(
+        start,
+        ParseErrorKind::UnterminatedString,
+    ))
 }
 
 #[cfg(test)]
@@ -253,7 +267,11 @@ mod tests {
     use super::*;
 
     fn toks(src: &str) -> Vec<Token> {
-        tokenize(src).unwrap().into_iter().map(|s| s.token).collect()
+        tokenize(src)
+            .unwrap()
+            .into_iter()
+            .map(|s| s.token)
+            .collect()
     }
 
     #[test]
@@ -276,10 +294,7 @@ mod tests {
 
     #[test]
     fn lexes_unicode_operator_synonyms() {
-        assert_eq!(
-            toks("A ⊙ B → C ⊗ D ⊕ E"),
-            toks("A ~> B -> C | D & E")
-        );
+        assert_eq!(toks("A ⊙ B → C ⊗ D ⊕ E"), toks("A ~> B -> C | D & E"));
         assert_eq!(toks("¬A"), toks("!A"));
     }
 
@@ -306,13 +321,16 @@ mod tests {
 
     #[test]
     fn lexes_numbers_including_negative_and_float() {
-        assert_eq!(toks("[x = -42]"), vec![
-            Token::LBracket,
-            Token::Ident("x".into()),
-            Token::Cmp(CmpOp::Eq),
-            Token::Int(-42),
-            Token::RBracket,
-        ]);
+        assert_eq!(
+            toks("[x = -42]"),
+            vec![
+                Token::LBracket,
+                Token::Ident("x".into()),
+                Token::Cmp(CmpOp::Eq),
+                Token::Int(-42),
+                Token::RBracket,
+            ]
+        );
         assert_eq!(toks("[x < 1.5]")[3], Token::Float(1.5));
     }
 

@@ -6,8 +6,8 @@ use proptest::prelude::{prop, prop_assert, prop_assert_eq, prop_oneof, proptest,
 
 use wlq_log::{attrs, LogBuilder, LogStats};
 use wlq_pattern::{
-    ac_equivalent, algebra, canonicalize, choice_normal_form, from_postfix, rewrite,
-    to_postfix, Op, Optimizer, Pattern,
+    ac_equivalent, algebra, canonicalize, choice_normal_form, from_postfix, rewrite, to_postfix,
+    Op, Optimizer, Pattern,
 };
 
 const ALPHABET: [&str; 4] = ["A", "B", "C", "D"];

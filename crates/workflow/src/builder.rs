@@ -36,7 +36,10 @@ impl ModelBuilder {
     /// Starts a builder for a model called `name`.
     #[must_use]
     pub fn new(name: impl Into<String>) -> Self {
-        ModelBuilder { name: name.into(), nodes: Vec::new() }
+        ModelBuilder {
+            name: name.into(),
+            nodes: Vec::new(),
+        }
     }
 
     fn push(&mut self, node: NodeDef) -> NodeId {
@@ -89,14 +92,19 @@ impl ModelBuilder {
         self.push(NodeDef::Task {
             activity: activity.into(),
             reads: reads.into_iter().map(Into::into).collect(),
-            writes: writes.into_iter().map(|(n, e)| (n.to_string(), e)).collect(),
+            writes: writes
+                .into_iter()
+                .map(|(n, e)| (n.to_string(), e))
+                .collect(),
             next,
         })
     }
 
     /// Adds an XOR gateway with weighted branches.
     pub fn xor(&mut self, branches: impl IntoIterator<Item = (f64, NodeId)>) -> NodeId {
-        self.push(NodeDef::Xor { branches: branches.into_iter().collect() })
+        self.push(NodeDef::Xor {
+            branches: branches.into_iter().collect(),
+        })
     }
 
     /// Adds an AND split whose branches meet at `join` (an
@@ -106,7 +114,10 @@ impl ModelBuilder {
         branches: impl IntoIterator<Item = NodeId>,
         join: NodeId,
     ) -> NodeId {
-        self.push(NodeDef::AndSplit { branches: branches.into_iter().collect(), join })
+        self.push(NodeDef::AndSplit {
+            branches: branches.into_iter().collect(),
+            join,
+        })
     }
 
     /// Adds an AND join barrier continuing at `next`.
@@ -143,7 +154,12 @@ mod tests {
         let end = b.end();
         let head = b.placeholder();
         let body = b.task("Work", head);
-        b.fill(head, NodeDef::Xor { branches: vec![(0.7, body), (0.3, end)] });
+        b.fill(
+            head,
+            NodeDef::Xor {
+                branches: vec![(0.7, body), (0.3, end)],
+            },
+        );
         let model = b.build(head).unwrap();
         assert_eq!(model.activities().len(), 1);
     }
@@ -175,7 +191,9 @@ mod tests {
             end,
         );
         let model = b.build(t).unwrap();
-        let NodeDef::Task { reads, writes, .. } = model.node(t) else { panic!() };
+        let NodeDef::Task { reads, writes, .. } = model.node(t) else {
+            panic!()
+        };
         assert_eq!(reads, &["balance"]);
         assert_eq!(writes.len(), 1);
     }

@@ -25,7 +25,10 @@ struct State {
 
 impl State {
     fn initial(entry: NodeId) -> State {
-        State { tokens: vec![entry.0], joins: Vec::new() }
+        State {
+            tokens: vec![entry.0],
+            joins: Vec::new(),
+        }
     }
 
     fn canonical(mut self) -> State {
@@ -215,7 +218,12 @@ fn join_counts(joins: &[(usize, usize, usize)], node: usize) -> (usize, usize) {
         .map_or((0, 0), |&(_, e, a)| (e, a))
 }
 
-fn bump_join(joins: &mut Vec<(usize, usize, usize)>, node: usize, add_expected: usize, add_arrived: usize) {
+fn bump_join(
+    joins: &mut Vec<(usize, usize, usize)>,
+    node: usize,
+    add_expected: usize,
+    add_arrived: usize,
+) {
     if let Some(entry) = joins.iter_mut().find(|(j, _, _)| *j == node) {
         entry.1 += add_expected;
         entry.2 += add_arrived;
@@ -292,7 +300,12 @@ mod tests {
         let end = b.end();
         let head = b.placeholder();
         let body = b.task("W", head);
-        b.fill(head, NodeDef::Xor { branches: vec![(0.5, body), (0.5, end)] });
+        b.fill(
+            head,
+            NodeDef::Xor {
+                branches: vec![(0.5, body), (0.5, end)],
+            },
+        );
         let m = b.build(head).unwrap();
         for rounds in 0..5 {
             let trace = vec![Activity::new("W"); rounds];
@@ -316,10 +329,7 @@ mod tests {
                 model.name(),
                 report.violations()
             );
-            assert!(report
-                .verdicts
-                .values()
-                .all(|v| *v == Verdict::Complete));
+            assert!(report.verdicts.values().all(|v| *v == Verdict::Complete));
         }
     }
 
@@ -329,7 +339,12 @@ mod tests {
         // Hand-build a log that skips shipping entirely.
         let mut b = LogBuilder::new();
         let w = b.start_instance();
-        for act in ["PlaceOrder", "CreateInvoice", "CollectPayment", "CloseOrder"] {
+        for act in [
+            "PlaceOrder",
+            "CreateInvoice",
+            "CollectPayment",
+            "CloseOrder",
+        ] {
             b.append(w, act, attrs! {}, attrs! {}).unwrap();
         }
         b.end_instance(w).unwrap();

@@ -118,7 +118,13 @@ mod tests {
     #[test]
     fn add_treats_undefined_as_zero() {
         let store = attrs! { "x" => 10i64 };
-        assert_eq!(DataEffect::Add(5).eval("x", &store, &mut rng()), Value::Int(15));
-        assert_eq!(DataEffect::Add(5).eval("y", &store, &mut rng()), Value::Int(5));
+        assert_eq!(
+            DataEffect::Add(5).eval("x", &store, &mut rng()),
+            Value::Int(15)
+        );
+        assert_eq!(
+            DataEffect::Add(5).eval("y", &store, &mut rng()),
+            Value::Int(5)
+        );
     }
 }

@@ -34,11 +34,7 @@ impl WorkflowModel {
                 NodeDef::Xor { branches } => {
                     let _ = writeln!(out, "  n{i} [shape=diamond, label=\"×\"];");
                     for (weight, target) in branches {
-                        let _ = writeln!(
-                            out,
-                            "  n{i} -> n{} [label=\"{weight:.2}\"];",
-                            target.0
-                        );
+                        let _ = writeln!(out, "  n{i} -> n{} [label=\"{weight:.2}\"];", target.0);
                     }
                 }
                 NodeDef::AndSplit { branches, .. } => {

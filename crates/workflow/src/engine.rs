@@ -48,7 +48,11 @@ impl SimulationConfig {
     /// default.
     #[must_use]
     pub fn new(instances: usize, seed: u64) -> Self {
-        SimulationConfig { instances, seed, ..SimulationConfig::default() }
+        SimulationConfig {
+            instances,
+            seed,
+            ..SimulationConfig::default()
+        }
     }
 }
 
@@ -121,7 +125,9 @@ pub fn simulate(model: &WorkflowModel, config: &SimulationConfig) -> Log {
             builder.end_instance(state.wid).expect("instance open");
         }
     }
-    builder.build().expect("simulation produced at least one record")
+    builder
+        .build()
+        .expect("simulation produced at least one record")
 }
 
 /// Advances one token; returns `true` when the instance has terminated.
@@ -141,7 +147,12 @@ fn step_instance(
     let token_idx = rng.gen_range(0..state.tokens.len());
     let node_id = state.tokens[token_idx];
     match model.node(node_id) {
-        NodeDef::Task { activity, reads, writes, next } => {
+        NodeDef::Task {
+            activity,
+            reads,
+            writes,
+            next,
+        } => {
             let mut input = AttrMap::new();
             for attr in reads {
                 if let Some(v) = state.store.get(attr) {
@@ -175,9 +186,10 @@ fn step_instance(
             false
         }
         NodeDef::AndSplit { branches, join } => {
-            state
-                .join_expected
-                .insert(join.0, branches.len() + state.join_expected.get(&join.0).unwrap_or(&0));
+            state.join_expected.insert(
+                join.0,
+                branches.len() + state.join_expected.get(&join.0).unwrap_or(&0),
+            );
             state.tokens.swap_remove(token_idx);
             state.tokens.extend(branches.iter().copied());
             false
@@ -261,11 +273,19 @@ mod tests {
     fn instances_interleave() {
         // With many instances and high arrival probability, at least one
         // pair of records of different instances must alternate.
-        let config = SimulationConfig { instances: 10, seed: 3, arrival_prob: 0.8, ..Default::default() };
+        let config = SimulationConfig {
+            instances: 10,
+            seed: 3,
+            arrival_prob: 0.8,
+            ..Default::default()
+        };
         let log = simulate(&linear_model(), &config);
         let wids: Vec<u64> = log.iter().map(|r| r.wid().get()).collect();
         let changes = wids.windows(2).filter(|w| w[0] != w[1]).count();
-        assert!(changes > 10, "only {changes} wid alternations — no interleaving?");
+        assert!(
+            changes > 10,
+            "only {changes} wid alternations — no interleaving?"
+        );
     }
 
     #[test]
@@ -291,7 +311,10 @@ mod tests {
     fn data_effects_flow_into_the_log() {
         let log = simulate(&linear_model(), &SimulationConfig::new(3, 5));
         for wid in log.wids() {
-            let a = log.instance(wid).find(|r| r.activity().as_str() == "A").unwrap();
+            let a = log
+                .instance(wid)
+                .find(|r| r.activity().as_str() == "A")
+                .unwrap();
             let x = a.output().get_or_undefined("x").as_int().unwrap();
             assert!((1..=100).contains(&x));
         }
@@ -304,7 +327,12 @@ mod tests {
         let end = b.end();
         let head = b.placeholder();
         let body = b.task("Spin", head);
-        b.fill(head, NodeDef::Xor { branches: vec![(1.0, body), (f64::MIN_POSITIVE, end)] });
+        b.fill(
+            head,
+            NodeDef::Xor {
+                branches: vec![(1.0, body), (f64::MIN_POSITIVE, end)],
+            },
+        );
         let model = b.build(head).unwrap();
         let config = SimulationConfig {
             instances: 1,

@@ -32,7 +32,8 @@ pub fn uniform_log(instances: usize, length: usize, alphabet: usize, seed: u64) 
     for _ in 0..length {
         for &wid in &wids {
             let name = &names[rng.gen_range(0..alphabet)];
-            b.append(wid, name.as_str(), attrs! {}, attrs! {}).expect("open");
+            b.append(wid, name.as_str(), attrs! {}, attrs! {})
+                .expect("open");
         }
     }
     for &wid in &wids {
@@ -118,7 +119,8 @@ pub fn skewed_log(instances: usize, length: usize, alphabet: usize, seed: u64) -
             while idx + 1 < alphabet && rng.gen_bool(0.5) {
                 idx += 1;
             }
-            b.append(wid, names[idx].as_str(), attrs! {}, attrs! {}).expect("open");
+            b.append(wid, names[idx].as_str(), attrs! {}, attrs! {})
+                .expect("open");
         }
     }
     for &wid in &wids {
@@ -168,8 +170,13 @@ pub fn inject_reorder_anomalies(log: &Log, rate: f64, seed: u64) -> (Log, Vec<wl
         };
         for i in order {
             let r = &tasks[i];
-            b.append(wid, r.activity().clone(), r.input().clone(), r.output().clone())
-                .expect("open");
+            b.append(
+                wid,
+                r.activity().clone(),
+                r.input().clone(),
+                r.output().clone(),
+            )
+            .expect("open");
         }
         if completed {
             b.end_instance(wid).expect("open");
@@ -193,8 +200,7 @@ mod tests {
             assert_eq!(log.instance_len(wid), 12);
         }
         let stats = LogStats::compute(&log);
-        let total: usize =
-            (0..3).map(|i| stats.activity_count(&format!("T{i}"))).sum();
+        let total: usize = (0..3).map(|i| stats.activity_count(&format!("T{i}"))).sum();
         assert_eq!(total, 40);
     }
 
@@ -245,8 +251,10 @@ mod tests {
         // Untampered instances are byte-identical in activity sequence.
         for wid in log.wids() {
             let before: Vec<_> = log.instance(wid).map(|r| r.activity().clone()).collect();
-            let after: Vec<_> =
-                drifted.instance(wid).map(|r| r.activity().clone()).collect();
+            let after: Vec<_> = drifted
+                .instance(wid)
+                .map(|r| r.activity().clone())
+                .collect();
             if tampered.contains(&wid) {
                 // Same multiset, possibly different order.
                 let mut b = before.clone();
@@ -288,8 +296,10 @@ mod tests {
         assert!(tampered.is_empty());
         for wid in log.wids() {
             let before: Vec<_> = log.instance(wid).map(|r| r.activity().clone()).collect();
-            let after: Vec<_> =
-                drifted.instance(wid).map(|r| r.activity().clone()).collect();
+            let after: Vec<_> = drifted
+                .instance(wid)
+                .map(|r| r.activity().clone())
+                .collect();
             assert_eq!(before, after);
         }
     }

@@ -85,10 +85,16 @@ impl fmt::Display for ModelError {
                 write!(f, "node n{from} references missing node n{to}")
             }
             ModelError::BadXor(id) => {
-                write!(f, "xor gateway n{id} has no branches or non-positive weights")
+                write!(
+                    f,
+                    "xor gateway n{id} has no branches or non-positive weights"
+                )
             }
             ModelError::BadAndSplit(id) => {
-                write!(f, "and-split n{id} has no branches or a join that is not an and-join")
+                write!(
+                    f,
+                    "and-split n{id} has no branches or a join that is not an and-join"
+                )
             }
             ModelError::EndUnreachable => write!(f, "no end node is reachable from the entry"),
         }
@@ -119,7 +125,11 @@ impl WorkflowModel {
         nodes: Vec<NodeDef>,
         entry: NodeId,
     ) -> Result<Self, ModelError> {
-        let model = WorkflowModel { name: name.into(), nodes, entry };
+        let model = WorkflowModel {
+            name: name.into(),
+            nodes,
+            entry,
+        };
         model.validate()?;
         Ok(model)
     }
@@ -273,7 +283,9 @@ mod tests {
     #[test]
     fn xor_needs_positive_weights() {
         let nodes = vec![
-            NodeDef::Xor { branches: vec![(0.0, NodeId(1))] },
+            NodeDef::Xor {
+                branches: vec![(0.0, NodeId(1))],
+            },
             NodeDef::End,
         ];
         assert_eq!(
@@ -291,7 +303,10 @@ mod tests {
     fn and_split_join_must_pair() {
         // join pointing at a Task is invalid.
         let nodes = vec![
-            NodeDef::AndSplit { branches: vec![NodeId(1)], join: NodeId(1) },
+            NodeDef::AndSplit {
+                branches: vec![NodeId(1)],
+                join: NodeId(1),
+            },
             task("A", 2),
             NodeDef::End,
         ];
@@ -314,7 +329,10 @@ mod tests {
     #[test]
     fn valid_and_split_model() {
         let nodes = vec![
-            NodeDef::AndSplit { branches: vec![NodeId(1), NodeId(2)], join: NodeId(3) },
+            NodeDef::AndSplit {
+                branches: vec![NodeId(1), NodeId(2)],
+                join: NodeId(3),
+            },
             task("Ship", 3),
             task("Invoice", 3),
             NodeDef::AndJoin { next: NodeId(4) },

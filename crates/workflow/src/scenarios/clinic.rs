@@ -45,12 +45,7 @@ pub fn model() -> WorkflowModel {
     // The visit/update loop head is a forward reference.
     let loop_head = b.placeholder();
 
-    let take_treatment = b.task_io(
-        "TakeTreatment",
-        ["referId", "receipt"],
-        [],
-        loop_head,
-    );
+    let take_treatment = b.task_io("TakeTreatment", ["referId", "receipt"], [], loop_head);
     let after_pay = b.xor([(0.5, take_treatment), (0.5, loop_head)]);
     let pay = b.task_io(
         "PayTreatment",
@@ -134,8 +129,7 @@ mod tests {
     fn every_instance_follows_the_referral_protocol() {
         let log = simulate(&model(), &SimulationConfig::new(30, 17));
         for wid in log.wids() {
-            let acts: Vec<&str> =
-                log.instance(wid).map(|r| r.activity().as_str()).collect();
+            let acts: Vec<&str> = log.instance(wid).map(|r| r.activity().as_str()).collect();
             assert_eq!(acts[0], "START");
             assert_eq!(acts[1], "GetRefer");
             assert_eq!(acts[2], "CheckIn");
@@ -163,15 +157,26 @@ mod tests {
             .iter()
             .find(|r| r.activity().as_str() == "UpdateRefer")
             .unwrap();
-        let before = update_rec.input().get_or_undefined("balance").as_int().unwrap();
-        let after = update_rec.output().get_or_undefined("balance").as_int().unwrap();
+        let before = update_rec
+            .input()
+            .get_or_undefined("balance")
+            .as_int()
+            .unwrap();
+        let after = update_rec
+            .output()
+            .get_or_undefined("balance")
+            .as_int()
+            .unwrap();
         assert_eq!(after, before + 3000);
     }
 
     #[test]
     fn reimbursement_zeroes_the_balance() {
         let log = simulate(&model(), &SimulationConfig::new(20, 31));
-        for r in log.iter().filter(|r| r.activity().as_str() == "GetReimburse") {
+        for r in log
+            .iter()
+            .filter(|r| r.activity().as_str() == "GetReimburse")
+        {
             assert_eq!(r.output().get_or_undefined("balance").as_int(), Some(0));
         }
     }

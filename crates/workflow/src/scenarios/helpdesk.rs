@@ -32,12 +32,7 @@ pub fn model() -> WorkflowModel {
     );
 
     let diagnose_gateway = b.placeholder();
-    let diagnose = b.task_io(
-        "Diagnose",
-        ["ticketId", "severity"],
-        [],
-        diagnose_gateway,
-    );
+    let diagnose = b.task_io("Diagnose", ["ticketId", "severity"], [], diagnose_gateway);
 
     let verify_gateway = b.xor([(0.8, close), (0.2, diagnose)]);
     let verify = b.task_io("Verify", ["ticketId"], [], verify_gateway);
@@ -55,7 +50,9 @@ pub fn model() -> WorkflowModel {
     );
     b.fill(
         diagnose_gateway,
-        NodeDef::Xor { branches: vec![(0.5, fix), (0.5, escalate)] },
+        NodeDef::Xor {
+            branches: vec![(0.5, fix), (0.5, escalate)],
+        },
     );
 
     let join = b.and_join(diagnose);
@@ -92,7 +89,10 @@ mod tests {
             let acts: Vec<&str> = log.instance(wid).map(|r| r.activity().as_str()).collect();
             let faq = acts.contains(&"AnswerFaq");
             let diagnosed = acts.contains(&"Diagnose");
-            assert!(faq ^ diagnosed, "instance {wid:?} must take exactly one route");
+            assert!(
+                faq ^ diagnosed,
+                "instance {wid:?} must take exactly one route"
+            );
             if diagnosed {
                 assert!(acts.contains(&"Reproduce"));
                 assert!(acts.contains(&"CollectLogs"));
@@ -118,8 +118,11 @@ mod tests {
     #[test]
     fn model_conforms_to_itself_and_has_expected_activities() {
         let m = model();
-        let names: Vec<String> =
-            m.activities().iter().map(|a| a.as_str().to_string()).collect();
+        let names: Vec<String> = m
+            .activities()
+            .iter()
+            .map(|a| a.as_str().to_string())
+            .collect();
         assert_eq!(
             names,
             [

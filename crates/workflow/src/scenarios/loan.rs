@@ -54,7 +54,9 @@ pub fn model() -> WorkflowModel {
     );
     b.fill(
         review_gateway,
-        crate::model::NodeDef::Xor { branches: vec![(0.6, approve), (0.4, reject)] },
+        crate::model::NodeDef::Xor {
+            branches: vec![(0.6, approve), (0.4, reject)],
+        },
     );
 
     let auto_approve = b.task_io(
@@ -75,7 +77,13 @@ pub fn model() -> WorkflowModel {
         [] as [&str; 0],
         [
             ("loanId", DataEffect::FreshId),
-            ("amount", DataEffect::UniformInt { lo: 1000, hi: 50000 }),
+            (
+                "amount",
+                DataEffect::UniformInt {
+                    lo: 1000,
+                    hi: 50000,
+                },
+            ),
             ("loanState", DataEffect::Const("submitted".into())),
         ],
         check,
@@ -93,8 +101,7 @@ mod tests {
     fn all_paths_start_with_submit_and_check() {
         let log = simulate(&model(), &SimulationConfig::new(40, 4));
         for wid in log.wids() {
-            let acts: Vec<&str> =
-                log.instance(wid).map(|r| r.activity().as_str()).collect();
+            let acts: Vec<&str> = log.instance(wid).map(|r| r.activity().as_str()).collect();
             assert_eq!(&acts[..3], &["START", "Submit", "CheckCredit"]);
         }
     }
@@ -117,8 +124,7 @@ mod tests {
     fn disbursement_only_after_signing() {
         let log = simulate(&model(), &SimulationConfig::new(50, 8));
         for wid in log.wids() {
-            let acts: Vec<&str> =
-                log.instance(wid).map(|r| r.activity().as_str()).collect();
+            let acts: Vec<&str> = log.instance(wid).map(|r| r.activity().as_str()).collect();
             if let Some(d) = acts.iter().position(|a| *a == "Disburse") {
                 let s = acts.iter().position(|a| *a == "SignContract").unwrap();
                 assert!(s < d);

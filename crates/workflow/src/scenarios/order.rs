@@ -69,11 +69,13 @@ mod tests {
     fn both_branches_always_complete_before_close() {
         let log = simulate(&model(), &SimulationConfig::new(25, 9));
         for wid in log.wids() {
-            let acts: Vec<&str> =
-                log.instance(wid).map(|r| r.activity().as_str()).collect();
+            let acts: Vec<&str> = log.instance(wid).map(|r| r.activity().as_str()).collect();
             let pos = |name: &str| acts.iter().position(|a| *a == name).unwrap();
             assert!(pos("Ship") < pos("CloseOrder"), "instance {wid:?}");
-            assert!(pos("CollectPayment") < pos("CloseOrder"), "instance {wid:?}");
+            assert!(
+                pos("CollectPayment") < pos("CloseOrder"),
+                "instance {wid:?}"
+            );
             assert!(pos("PickItems") < pos("Ship"));
             assert!(pos("CreateInvoice") < pos("CollectPayment"));
         }
@@ -97,7 +99,10 @@ mod tests {
                 invoice_first += 1;
             }
         }
-        assert!(ship_first > 0 && invoice_first > 0, "no interleaving variety");
+        assert!(
+            ship_first > 0 && invoice_first > 0,
+            "no interleaving variety"
+        );
     }
 
     #[test]

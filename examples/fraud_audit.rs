@@ -37,7 +37,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let offenders = report.repeat_offenders(3);
     println!("\n{} instance(s) tripped 3+ rules", offenders.len());
     for (wid, hits) in offenders.iter().take(5) {
-        println!("  instance {wid}: {hits} rules — {}", report.flagged[wid].join(", "));
+        println!(
+            "  instance {wid}: {hits} rules — {}",
+            report.flagged[wid].join(", ")
+        );
     }
 
     // Drill into the worst offender with the paper-notation rendering.
@@ -56,9 +59,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Dollar-weighted view: group high-balance referrals by hospital.
     println!("\nhigh-balance (> $6000) referrals by hospital:");
-    for (hospital, count) in
-        wlq::analyses::high_balance_referrals_by(&log, 6000, "hospital")
-    {
+    for (hospital, count) in wlq::analyses::high_balance_referrals_by(&log, 6000, "hospital") {
         println!("  {hospital:<18} {count}");
     }
 

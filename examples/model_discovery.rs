@@ -31,7 +31,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // ── 1. Mine the dominant relations. ───────────────────────────────
     println!("frequent relations (support ≥ 200 instances):");
     for relation in mine_relations(&log, 200) {
-        println!("  {:<38} {:>4} instances", relation.pattern.to_string(), relation.support);
+        println!(
+            "  {:<38} {:>4} instances",
+            relation.pattern.to_string(),
+            relation.support
+        );
     }
 
     // ── 2. Conformance: the log fits its own model… ────────────────────
@@ -63,7 +67,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let appeals: Pattern = "Reject -> Appeal".parse()?;
     println!("\nappeal timeline (cumulative incidents every 500 records):");
     for point in timeline(&log, &appeals, 500) {
-        println!("  up to lsn {:>5}: {:>4} (+{})", point.lsn, point.incidents, point.delta);
+        println!(
+            "  up to lsn {:>5}: {:>4} (+{})",
+            point.lsn, point.incidents, point.delta
+        );
     }
 
     // ── 4. Interchange artifacts. ───────────────────────────────────────

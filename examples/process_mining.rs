@@ -19,7 +19,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &wlq::scenarios::order::model(),
         &SimulationConfig::new(400, 99),
     );
-    println!("── order fulfillment ({} instances) ──", orders.num_instances());
+    println!(
+        "── order fulfillment ({} instances) ──",
+        orders.num_instances()
+    );
 
     // Shipping and invoicing happen in parallel: the ⊕ pattern matches
     // regardless of interleaving order.
@@ -34,19 +37,30 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &wlq::scenarios::loan::model(),
         &SimulationConfig::new(400, 7),
     );
-    println!("\n── loan origination ({} instances) ──", loans.num_instances());
+    println!(
+        "\n── loan origination ({} instances) ──",
+        loans.num_instances()
+    );
     let approved = Query::parse("(AutoApprove | Approve) -> Disburse")?;
     let rejected = Query::parse("Reject")?;
     let appealed = Query::parse("Reject -> Appeal -> ManualReview")?;
-    println!("approved & disbursed            : {} instances", approved.count_by_instance(&loans).len());
-    println!("rejected at least once          : {} instances", rejected.count_by_instance(&loans).len());
-    println!("appealed after rejection        : {} instances", appealed.count_by_instance(&loans).len());
+    println!(
+        "approved & disbursed            : {} instances",
+        approved.count_by_instance(&loans).len()
+    );
+    println!(
+        "rejected at least once          : {} instances",
+        rejected.count_by_instance(&loans).len()
+    );
+    println!(
+        "appealed after rejection        : {} instances",
+        appealed.count_by_instance(&loans).len()
+    );
 
     // ── Optimizer at work. ─────────────────────────────────────────────
     let stats = LogStats::compute(&loans);
     let optimizer = Optimizer::new(stats);
-    let pattern: Pattern =
-        "(Submit -> Approve) | (Submit -> Reject)".parse()?;
+    let pattern: Pattern = "(Submit -> Approve) | (Submit -> Reject)".parse()?;
     let (optimized, report) = optimizer.optimize_with_report(&pattern);
     println!("\noptimizer: {pattern}  ⇒  {optimized}");
     println!(

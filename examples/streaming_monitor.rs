@@ -18,9 +18,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Monitors: one per rule, fed record-by-record as if live.
     let mut monitors = vec![
-        ("update-before-reimburse", StreamingEvaluator::new("UpdateRefer -> GetReimburse".parse()?)),
-        ("triple-doctor-visit", StreamingEvaluator::new("SeeDoctor -> SeeDoctor -> SeeDoctor".parse()?)),
-        ("instant-reimburse", StreamingEvaluator::new("CheckIn ~> GetReimburse".parse()?)),
+        (
+            "update-before-reimburse",
+            StreamingEvaluator::new("UpdateRefer -> GetReimburse".parse()?),
+        ),
+        (
+            "triple-doctor-visit",
+            StreamingEvaluator::new("SeeDoctor -> SeeDoctor -> SeeDoctor".parse()?),
+        ),
+        (
+            "instant-reimburse",
+            StreamingEvaluator::new("CheckIn ~> GetReimburse".parse()?),
+        ),
     ];
 
     let mut alerts = 0usize;

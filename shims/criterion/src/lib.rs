@@ -1,0 +1,275 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the API surface the workspace's benches use — groups,
+//! `bench_with_input`, `BenchmarkId`, the `criterion_group!`/
+//! `criterion_main!` macros — over a small wall-clock harness: each
+//! benchmark is warmed up, an iteration count is calibrated to a fixed
+//! per-sample budget, and `sample_size` samples are collected. The
+//! printed line reports min/median/mean per iteration. No statistical
+//! analysis, plotting, or baseline comparison is performed.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Harness entry point (mirrors `criterion::Criterion`).
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            sample_size: 50,
+        }
+    }
+
+    /// Benchmarks a single routine outside any group.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = name.into();
+        let mut group = self.benchmark_group(name.clone());
+        group.run_one(&name, f);
+        group.finish();
+        self
+    }
+}
+
+/// A benchmark's identifier within a group: `function/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter value.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function.into(), parameter),
+        }
+    }
+
+    /// An id made of a parameter value alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// A group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed samples each benchmark collects.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Benchmarks `f` with `input`, under `id`.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.id.clone();
+        self.run_one(&id, |b| f(b, input));
+        self
+    }
+
+    /// Benchmarks `f` under a plain string id.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        self.run_one(&id, f);
+        self
+    }
+
+    fn run_one<F>(&mut self, id: &str, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            sample_size: self.sample_size,
+            stats: None,
+        };
+        f(&mut bencher);
+        match bencher.stats {
+            Some(stats) => println!(
+                "{}/{id}  time: [{} {} {}]  ({} samples)",
+                self.name,
+                format_ns(stats.min_ns),
+                format_ns(stats.median_ns),
+                format_ns(stats.mean_ns),
+                stats.samples,
+            ),
+            None => println!(
+                "{}/{id}  (no measurement: Bencher::iter never called)",
+                self.name
+            ),
+        }
+    }
+
+    /// Ends the group (kept for API compatibility; reports print eagerly).
+    pub fn finish(self) {}
+}
+
+/// Per-iteration timing statistics, in nanoseconds.
+#[derive(Debug, Clone, Copy)]
+pub struct Stats {
+    /// Fastest sample.
+    pub min_ns: f64,
+    /// Median sample.
+    pub median_ns: f64,
+    /// Mean over all samples.
+    pub mean_ns: f64,
+    /// Number of samples collected.
+    pub samples: usize,
+}
+
+/// Times a routine (mirrors `criterion::Bencher`).
+pub struct Bencher {
+    sample_size: usize,
+    stats: Option<Stats>,
+}
+
+/// Time budget per collected sample.
+const SAMPLE_BUDGET: Duration = Duration::from_millis(8);
+/// Warm-up budget before calibration.
+const WARMUP_BUDGET: Duration = Duration::from_millis(40);
+
+impl Bencher {
+    /// Measures `routine`, storing per-iteration statistics.
+    pub fn iter<O, F>(&mut self, mut routine: F)
+    where
+        F: FnMut() -> O,
+    {
+        // Warm-up: run until the budget elapses, estimating cost.
+        let warmup_start = Instant::now();
+        let mut warmup_iters: u32 = 0;
+        while warmup_start.elapsed() < WARMUP_BUDGET || warmup_iters == 0 {
+            black_box(routine());
+            warmup_iters += 1;
+            if warmup_iters >= 1_000_000 {
+                break;
+            }
+        }
+        let est_iter = warmup_start.elapsed() / warmup_iters;
+
+        // Calibrate iterations per sample to the sample budget, and trim
+        // the sample count when a single iteration blows that budget.
+        let iters_per_sample = if est_iter.is_zero() {
+            10_000
+        } else {
+            (SAMPLE_BUDGET.as_nanos() / est_iter.as_nanos().max(1)).clamp(1, 10_000_000) as u32
+        };
+        let samples = if est_iter > 16 * SAMPLE_BUDGET {
+            self.sample_size.min(10)
+        } else {
+            self.sample_size
+        };
+
+        let mut per_iter_ns: Vec<f64> = Vec::with_capacity(samples);
+        for _ in 0..samples {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            per_iter_ns.push(start.elapsed().as_nanos() as f64 / f64::from(iters_per_sample));
+        }
+        per_iter_ns.sort_unstable_by(f64::total_cmp);
+        self.stats = Some(Stats {
+            min_ns: per_iter_ns[0],
+            median_ns: per_iter_ns[per_iter_ns.len() / 2],
+            mean_ns: per_iter_ns.iter().sum::<f64>() / per_iter_ns.len() as f64,
+            samples,
+        });
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.4} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.4} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.4} µs", ns / 1e3)
+    } else {
+        format!("{ns:.2} ns")
+    }
+}
+
+/// Bundles benchmark functions into one group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` running the given groups (ignores harness CLI flags).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench` passes flags like `--bench`; nothing to parse.
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_produces_ordered_stats() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim_selftest");
+        group.sample_size(5);
+        let mut captured = None;
+        group.bench_with_input(BenchmarkId::new("sum", 64), &64u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>());
+            captured = b.stats;
+        });
+        group.finish();
+        let stats = captured.expect("stats recorded");
+        assert!(stats.min_ns > 0.0);
+        assert!(stats.min_ns <= stats.median_ns);
+        assert!(stats.samples == 5);
+    }
+
+    #[test]
+    fn benchmark_ids_format_like_criterion() {
+        assert_eq!(BenchmarkId::new("naive", 32).id, "naive/32");
+        assert_eq!(BenchmarkId::from_parameter(8).id, "8");
+    }
+}

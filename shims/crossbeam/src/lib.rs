@@ -1,0 +1,100 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Only [`thread::scope`] is provided — the one crossbeam API this
+//! workspace uses — implemented on top of `std::thread::scope` (stable
+//! since Rust 1.63, after crossbeam pioneered the pattern). Signatures
+//! mirror crossbeam 0.8: the scope closure and every spawned closure
+//! receive a [`thread::Scope`] argument, and `scope` returns a `Result`
+//! even though the std implementation propagates panics directly.
+
+pub mod thread {
+    //! Scoped threads (mirrors `crossbeam::thread`).
+
+    /// A scope for spawning borrowing threads; wraps [`std::thread::Scope`].
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// A handle to a scoped thread; joins to the closure's return value.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        /// Waits for the thread to finish, yielding its result.
+        ///
+        /// # Errors
+        ///
+        /// Returns the thread's panic payload if it panicked.
+        pub fn join(self) -> std::thread::Result<T> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. As in crossbeam, the closure receives
+        /// the scope again so it can spawn siblings.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle {
+                inner: inner.spawn(move || f(&Scope { inner })),
+            }
+        }
+    }
+
+    /// Creates a scope whose threads may borrow from the caller's stack.
+    ///
+    /// # Errors
+    ///
+    /// Crossbeam reports child-thread panics as `Err`; `std::thread::scope`
+    /// resumes the panic on the parent instead, so this adaptor only ever
+    /// returns `Ok` — matching call sites that `.expect(..)` the result.
+    pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let counter = AtomicUsize::new(0);
+        let outputs: Vec<usize> = super::thread::scope(|scope| {
+            let handles: Vec<_> = (0..4)
+                .map(|i| {
+                    let counter = &counter;
+                    scope.spawn(move |_| {
+                        counter.fetch_add(1, Ordering::Relaxed);
+                        i * 10
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        })
+        .unwrap();
+        assert_eq!(counter.load(Ordering::Relaxed), 4);
+        assert_eq!(outputs, vec![0, 10, 20, 30]);
+    }
+
+    #[test]
+    fn nested_spawn_through_the_scope_argument() {
+        let hits = AtomicUsize::new(0);
+        super::thread::scope(|scope| {
+            scope.spawn(|inner| {
+                hits.fetch_add(1, Ordering::Relaxed);
+                inner.spawn(|_| hits.fetch_add(1, Ordering::Relaxed));
+            });
+        })
+        .unwrap();
+        assert_eq!(hits.load(Ordering::Relaxed), 2);
+    }
+}

@@ -1,0 +1,69 @@
+//! Offline stand-in for the `parking_lot` crate.
+//!
+//! Provides [`Mutex`] with parking_lot's panic-free `lock()` signature,
+//! backed by `std::sync::Mutex`. Poisoning is translated to a panic —
+//! parking_lot has no poisoning, and a poisoned lock here means a worker
+//! already panicked, so propagating is the faithful behaviour.
+
+use std::sync::MutexGuard;
+
+/// A mutual-exclusion primitive (mirrors `parking_lot::Mutex`).
+#[derive(Debug, Default)]
+pub struct Mutex<T> {
+    inner: std::sync::Mutex<T>,
+}
+
+impl<T> Mutex<T> {
+    /// Creates a mutex guarding `value`.
+    pub fn new(value: T) -> Self {
+        Mutex {
+            inner: std::sync::Mutex::new(value),
+        }
+    }
+
+    /// Acquires the lock, blocking until available.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a previous holder panicked (std poisoning).
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        self.inner
+            .lock()
+            .expect("mutex poisoned by a panicked thread")
+    }
+
+    /// Consumes the mutex, returning the value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mutex was poisoned.
+    pub fn into_inner(self) -> T {
+        self.inner
+            .into_inner()
+            .expect("mutex poisoned by a panicked thread")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::Mutex;
+
+    #[test]
+    fn lock_guards_mutation() {
+        let m = Mutex::new(1);
+        *m.lock() += 41;
+        assert_eq!(*m.lock(), 42);
+        assert_eq!(m.into_inner(), 42);
+    }
+
+    #[test]
+    fn shared_across_threads() {
+        let m = Mutex::new(0usize);
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| *m.lock() += 1);
+            }
+        });
+        assert_eq!(*m.lock(), 8);
+    }
+}

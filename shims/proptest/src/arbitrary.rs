@@ -1,0 +1,119 @@
+//! The `any::<T>()` entry point and the types it covers.
+
+use std::marker::PhantomData;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Types with a canonical "anything goes" strategy.
+pub trait Arbitrary: Sized {
+    /// Draws one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// The strategy returned by [`any`].
+#[derive(Debug)]
+pub struct Any<T>(pub(crate) PhantomData<T>);
+
+impl<T> Clone for Any<T> {
+    fn clone(&self) -> Self {
+        Any(PhantomData)
+    }
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The canonical strategy for `T` (mirrors `proptest::arbitrary::any`).
+#[must_use]
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! int_arbitrary {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                // Mix uniform bits with boundary values so edge cases
+                // show up far more often than uniform sampling would allow.
+                match rng.below(8) {
+                    0 => <$t>::MIN,
+                    1 => <$t>::MAX,
+                    2 => 0,
+                    3 => 1,
+                    _ => rng.next_u64() as $t,
+                }
+            }
+        }
+    )*};
+}
+
+int_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        const SPECIALS: [f64; 12] = [
+            f64::NAN,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            0.0,
+            -0.0,
+            1.0,
+            -1.0,
+            f64::MIN,
+            f64::MAX,
+            f64::MIN_POSITIVE,
+            f64::EPSILON,
+            1e-300,
+        ];
+        if rng.below(8) == 0 {
+            let special = SPECIALS[rng.below(SPECIALS.len() as u64) as usize];
+            // Half the NaNs drawn are negative, as with real bit patterns.
+            if special.is_nan() && rng.next_u64() & 1 == 1 {
+                return -special;
+            }
+            special
+        } else {
+            // Uniform bit patterns: covers subnormals, huge exponents, and
+            // the occasional NaN payload.
+            f64::from_bits(rng.next_u64())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn floats_cover_the_special_values() {
+        let mut rng = TestRng::seed_from_u64(5);
+        let (mut nan, mut inf, mut finite) = (false, false, false);
+        for _ in 0..2000 {
+            let x = f64::arbitrary(&mut rng);
+            nan |= x.is_nan();
+            inf |= x.is_infinite();
+            finite |= x.is_finite();
+        }
+        assert!(nan && inf && finite);
+    }
+
+    #[test]
+    fn ints_hit_extremes() {
+        let mut rng = TestRng::seed_from_u64(6);
+        let values: Vec<i64> = (0..200).map(|_| i64::arbitrary(&mut rng)).collect();
+        assert!(values.contains(&i64::MIN));
+        assert!(values.contains(&i64::MAX));
+    }
+}

@@ -1,0 +1,8 @@
+//! Boolean strategies (mirrors `proptest::bool`).
+
+use std::marker::PhantomData;
+
+use crate::arbitrary::Any;
+
+/// Either boolean with equal probability.
+pub const ANY: Any<bool> = Any(PhantomData);

@@ -1,0 +1,103 @@
+//! Collection strategies (mirrors `proptest::collection`).
+
+use std::collections::BTreeSet;
+use std::ops::Range;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Vectors of `size.start..size.end` elements (end exclusive).
+pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+    assert!(size.start < size.end, "empty vec size range");
+    VecStrategy { element, size }
+}
+
+/// The strategy returned by [`vec`].
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = rng.usize_in(self.size.start, self.size.end);
+        (0..len).map(|_| self.element.sample(rng)).collect()
+    }
+}
+
+/// Sets of `size.start..size.end` distinct elements (end exclusive).
+/// If the element domain is too small to reach a drawn size, the set is
+/// returned at whatever size repeated draws achieved.
+pub fn btree_set<S>(element: S, size: Range<usize>) -> BTreeSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Ord,
+{
+    assert!(size.start < size.end, "empty set size range");
+    BTreeSetStrategy { element, size }
+}
+
+/// The strategy returned by [`btree_set`].
+#[derive(Debug, Clone)]
+pub struct BTreeSetStrategy<S> {
+    element: S,
+    size: Range<usize>,
+}
+
+impl<S> Strategy for BTreeSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Ord,
+{
+    type Value = BTreeSet<S::Value>;
+
+    fn sample(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+        let target = rng.usize_in(self.size.start, self.size.end);
+        let mut set = BTreeSet::new();
+        // Collisions don't count toward the target, but bound the number
+        // of attempts in case the element domain is smaller than `target`.
+        let mut attempts = 0;
+        while set.len() < target && attempts < 64 * (target + 1) {
+            set.insert(self.element.sample(rng));
+            attempts += 1;
+        }
+        set
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_lengths_stay_in_range() {
+        let strat = vec(0..10u8, 2..5);
+        let mut rng = TestRng::seed_from_u64(7);
+        for _ in 0..200 {
+            let v = strat.sample(&mut rng);
+            assert!((2..5).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn sets_reach_their_target_size() {
+        let strat = btree_set(1u32..13, 1..5);
+        let mut rng = TestRng::seed_from_u64(8);
+        for _ in 0..200 {
+            let s = strat.sample(&mut rng);
+            assert!((1..5).contains(&s.len()), "len {}", s.len());
+        }
+    }
+
+    #[test]
+    fn small_domains_saturate_instead_of_hanging() {
+        let strat = btree_set(0..2u8, 1..5);
+        let mut rng = TestRng::seed_from_u64(9);
+        for _ in 0..50 {
+            assert!(!strat.sample(&mut rng).is_empty());
+        }
+    }
+}

@@ -1,0 +1,154 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no crates.io access, so this crate
+//! re-implements the slice of proptest's API that the workspace's property
+//! tests use: the [`Strategy`] trait with `prop_map`/`prop_recursive`,
+//! weighted unions, collection/sample/string strategies, and the
+//! `proptest!`/`prop_assert*` macros. Test cases are drawn by
+//! deterministic random sampling (seeded per test name, so runs are
+//! reproducible); there is **no shrinking** — a failure reports the first
+//! counterexample as sampled.
+//!
+//! API shapes mirror proptest 1.x so the real crate can be restored by
+//! editing only the workspace manifest.
+
+pub mod arbitrary;
+pub mod bool;
+pub mod collection;
+pub mod num;
+pub mod sample;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+pub use crate::arbitrary::any;
+pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult};
+
+pub mod prelude {
+    //! The common imports, mirroring `proptest::prelude`.
+
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+    // `prop::collection::vec(..)` etc. resolve through this alias, exactly
+    // as in the real crate's prelude.
+    pub use crate as prop;
+}
+
+/// Fails the current test case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// Fails the current test case unless `left == right`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__wlq_l, __wlq_r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__wlq_l == *__wlq_r,
+            "assertion failed: `left == right`\n  left: `{:?}`\n right: `{:?}`",
+            __wlq_l,
+            __wlq_r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (__wlq_l, __wlq_r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__wlq_l == *__wlq_r,
+            "assertion failed: `left == right`\n  left: `{:?}`\n right: `{:?}`\n{}",
+            __wlq_l,
+            __wlq_r,
+            format!($($fmt)*)
+        );
+    }};
+}
+
+/// Fails the current test case unless `left != right`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__wlq_l, __wlq_r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__wlq_l != *__wlq_r,
+            "assertion failed: `left != right`\n  both: `{:?}`",
+            __wlq_l
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (__wlq_l, __wlq_r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__wlq_l != *__wlq_r,
+            "assertion failed: `left != right`\n  both: `{:?}`\n{}",
+            __wlq_l,
+            format!($($fmt)*)
+        );
+    }};
+}
+
+/// A union of strategies, optionally weighted: `prop_oneof![a, b]` or
+/// `prop_oneof![3 => a, 1 => b]`.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(($weight, $crate::strategy::Strategy::boxed($strategy))),+
+        ])
+    };
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $((1u32, $crate::strategy::Strategy::boxed($strategy))),+
+        ])
+    };
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ..) { body }`
+/// becomes a `#[test]` that samples inputs and runs the body per case.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($config:expr)) => {};
+    (($config:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __wlq_config = $config;
+            $crate::test_runner::run_proptest(&__wlq_config, stringify!($name), |__wlq_rng| {
+                $(let $arg = $crate::strategy::Strategy::sample(&($strat), __wlq_rng);)*
+                let __wlq_case = || -> $crate::test_runner::TestCaseResult {
+                    $body
+                    #[allow(unreachable_code)]
+                    ::core::result::Result::Ok(())
+                };
+                __wlq_case()
+            });
+        }
+        $crate::__proptest_impl! { ($config) $($rest)* }
+    };
+}

@@ -1,0 +1,18 @@
+//! Numeric strategies (mirrors `proptest::num`).
+
+macro_rules! num_module {
+    ($($t:ident),*) => {$(
+        pub mod $t {
+            //! Strategies for this primitive.
+
+            use std::marker::PhantomData;
+
+            use crate::arbitrary::Any;
+
+            /// Any value of the type, with boundary values over-weighted.
+            pub const ANY: Any<$t> = Any(PhantomData);
+        }
+    )*};
+}
+
+num_module!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64);

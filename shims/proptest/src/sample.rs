@@ -1,0 +1,48 @@
+//! Sampling from explicit value lists (mirrors `proptest::sample`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// A uniform choice from `options`.
+///
+/// # Panics
+///
+/// Panics if `options` is empty.
+pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+    assert!(!options.is_empty(), "select requires at least one option");
+    Select { options }
+}
+
+/// The strategy returned by [`select`].
+#[derive(Debug, Clone)]
+pub struct Select<T> {
+    options: Vec<T>,
+}
+
+impl<T: Clone> Strategy for Select<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        self.options[rng.usize_in(0, self.options.len())].clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn select_covers_every_option() {
+        let strat = select(vec!["a", "b", "c"]);
+        let mut rng = TestRng::seed_from_u64(10);
+        let mut seen = [false; 3];
+        for _ in 0..100 {
+            match strat.sample(&mut rng) {
+                "a" => seen[0] = true,
+                "b" => seen[1] = true,
+                _ => seen[2] = true,
+            }
+        }
+        assert_eq!(seen, [true; 3]);
+    }
+}

@@ -1,0 +1,229 @@
+//! String generation from a small regex subset.
+//!
+//! Real proptest interprets `&str` strategies as full regexes via the
+//! `regex-syntax` crate. This stand-in supports exactly the constructs the
+//! workspace's tests use: literal characters, character classes with
+//! ranges (`[a-z]`, `[ -~]`), the `\PC` "no control characters" escape,
+//! and the quantifiers `*`, `+`, `{m}`, `{m,n}`. Anything else panics
+//! loudly so an unsupported pattern is caught at test time, not silently
+//! mis-sampled.
+
+use crate::test_runner::TestRng;
+
+#[derive(Debug, Clone)]
+enum CharClass {
+    /// Inclusive ranges; sampling is weighted by range width.
+    Ranges(Vec<(char, char)>),
+    /// Any character except the Unicode control category (`\PC`).
+    NonControl,
+}
+
+#[derive(Debug, Clone)]
+struct Element {
+    class: CharClass,
+    min: usize,
+    max: usize, // inclusive
+}
+
+/// Characters beyond ASCII sampled for `\PC`, to exercise multi-byte
+/// UTF-8 handling without dragging in Unicode tables.
+const NON_ASCII: [char; 10] = [
+    'é', 'ß', 'Ω', 'λ', 'з', '中', '→', '\u{00A0}', '\u{2028}', '🦀',
+];
+
+fn parse(pattern: &str) -> Vec<Element> {
+    let mut chars = pattern.chars().peekable();
+    let mut elements = Vec::new();
+    while let Some(c) = chars.next() {
+        let class = match c {
+            '\\' => match chars.next() {
+                Some('P') => {
+                    let category = chars.next();
+                    assert!(
+                        category == Some('C'),
+                        "unsupported escape \\P{category:?} in regex strategy {pattern:?}"
+                    );
+                    CharClass::NonControl
+                }
+                Some(escaped) => CharClass::Ranges(vec![(escaped, escaped)]),
+                None => panic!("dangling backslash in regex strategy {pattern:?}"),
+            },
+            '[' => {
+                let mut ranges = Vec::new();
+                loop {
+                    let lo = match chars.next() {
+                        Some(']') => break,
+                        Some('\\') => chars
+                            .next()
+                            .unwrap_or_else(|| panic!("dangling backslash in {pattern:?}")),
+                        Some(ch) => ch,
+                        None => panic!("unterminated class in regex strategy {pattern:?}"),
+                    };
+                    if chars.peek() == Some(&'-') {
+                        chars.next();
+                        match chars.next() {
+                            Some(']') => {
+                                // Trailing '-' is a literal, as in regex.
+                                ranges.push((lo, lo));
+                                ranges.push(('-', '-'));
+                                break;
+                            }
+                            Some(hi) => {
+                                assert!(lo <= hi, "inverted range in {pattern:?}");
+                                ranges.push((lo, hi));
+                            }
+                            None => panic!("unterminated class in regex strategy {pattern:?}"),
+                        }
+                    } else {
+                        ranges.push((lo, lo));
+                    }
+                }
+                assert!(
+                    !ranges.is_empty(),
+                    "empty class in regex strategy {pattern:?}"
+                );
+                CharClass::Ranges(ranges)
+            }
+            '.' => CharClass::NonControl,
+            c if "()|?^$".contains(c) => {
+                panic!("unsupported regex construct {c:?} in strategy {pattern:?}")
+            }
+            c => CharClass::Ranges(vec![(c, c)]),
+        };
+        let (min, max) = match chars.peek() {
+            Some('*') => {
+                chars.next();
+                (0, 16)
+            }
+            Some('+') => {
+                chars.next();
+                (1, 16)
+            }
+            Some('{') => {
+                chars.next();
+                let mut digits = String::new();
+                let mut lo = None;
+                loop {
+                    match chars.next() {
+                        Some('}') => break,
+                        Some(',') => {
+                            lo = Some(digits.parse::<usize>().expect("bad repeat count"));
+                            digits.clear();
+                        }
+                        Some(d) if d.is_ascii_digit() => digits.push(d),
+                        other => panic!("bad quantifier near {other:?} in {pattern:?}"),
+                    }
+                }
+                let last = digits.parse::<usize>().expect("bad repeat count");
+                match lo {
+                    Some(lo) => (lo, last),
+                    None => (last, last),
+                }
+            }
+            _ => (1, 1),
+        };
+        assert!(
+            min <= max,
+            "inverted quantifier in regex strategy {pattern:?}"
+        );
+        elements.push(Element { class, min, max });
+    }
+    elements
+}
+
+fn sample_char(class: &CharClass, rng: &mut TestRng) -> char {
+    match class {
+        CharClass::Ranges(ranges) => {
+            let total: u64 = ranges
+                .iter()
+                .map(|(lo, hi)| u64::from(*hi) - u64::from(*lo) + 1)
+                .sum();
+            let mut ticket = rng.below(total);
+            for (lo, hi) in ranges {
+                let width = u64::from(*hi) - u64::from(*lo) + 1;
+                if ticket < width {
+                    // Classes used here never straddle the surrogate gap.
+                    return char::from_u32(*lo as u32 + ticket as u32)
+                        .expect("range straddles a non-character gap");
+                }
+                ticket -= width;
+            }
+            unreachable!("ticket exceeded class width")
+        }
+        CharClass::NonControl => {
+            // Mostly printable ASCII, sometimes multi-byte codepoints.
+            if rng.below(5) == 0 {
+                NON_ASCII[rng.usize_in(0, NON_ASCII.len())]
+            } else {
+                char::from_u32(0x20 + rng.below(0x5F) as u32).expect("printable ASCII")
+            }
+        }
+    }
+}
+
+/// Draws one string matching `pattern` (within the supported subset).
+pub fn sample_regex(pattern: &str, rng: &mut TestRng) -> String {
+    let mut out = String::new();
+    for element in parse(pattern) {
+        let count = rng.usize_in(element.min, element.max + 1);
+        for _ in 0..count {
+            out.push(sample_char(&element.class, rng));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::sample_regex;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn class_with_repeat_respects_alphabet_and_length() {
+        let mut rng = TestRng::seed_from_u64(11);
+        for _ in 0..200 {
+            let s = sample_regex("[a-z]{1,6}", &mut rng);
+            assert!((1..=6).contains(&s.chars().count()));
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+        }
+    }
+
+    #[test]
+    fn printable_ascii_class_spans_space_to_tilde() {
+        let mut rng = TestRng::seed_from_u64(12);
+        let mut space = false;
+        let mut tilde_side = false;
+        for _ in 0..500 {
+            let s = sample_regex("[ -~]{0,12}", &mut rng);
+            assert!(s.chars().count() <= 12);
+            for c in s.chars() {
+                assert!((' '..='~').contains(&c));
+                space |= c == ' ';
+                tilde_side |= c > 'z';
+            }
+        }
+        assert!(space && tilde_side, "edges of the class never sampled");
+    }
+
+    #[test]
+    fn non_control_star_emits_no_control_chars() {
+        let mut rng = TestRng::seed_from_u64(13);
+        let mut non_ascii = false;
+        for _ in 0..500 {
+            let s = sample_regex("\\PC*", &mut rng);
+            assert!(!s.chars().any(char::is_control), "control char in {s:?}");
+            non_ascii |= !s.is_ascii();
+        }
+        assert!(non_ascii, "multi-byte codepoints never sampled");
+    }
+
+    #[test]
+    fn single_class_defaults_to_one_char() {
+        let mut rng = TestRng::seed_from_u64(14);
+        for _ in 0..50 {
+            let s = sample_regex("[A-E]", &mut rng);
+            assert_eq!(s.chars().count(), 1);
+            assert!(('A'..='E').contains(&s.chars().next().unwrap()));
+        }
+    }
+}

@@ -1,0 +1,250 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the *subset* of `rand` 0.8's API that it actually uses:
+//! [`Rng::gen_range`] over integer/float ranges, [`Rng::gen_bool`],
+//! [`SeedableRng::seed_from_u64`], [`rngs::StdRng`], and
+//! [`seq::SliceRandom::choose`]. The generator is xoshiro256** seeded via
+//! SplitMix64 — statistically strong enough for simulation and test-input
+//! generation, which is all this workspace asks of it.
+//!
+//! The API shapes (trait names, module paths, method signatures) mirror
+//! `rand` 0.8 exactly so that swapping the real crate back in is a
+//! one-line change in the workspace manifest.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Types that can be produced uniformly by [`Rng::gen`].
+pub trait Standard: Sized {
+    /// Draws one uniformly distributed value.
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for bool {
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for u32 {
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl Standard for u64 {
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for i64 {
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() as i64
+    }
+}
+
+impl Standard for f64 {
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 random mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// The object-safe core of a generator: a stream of `u64`s.
+pub trait RngCore {
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Ranges that [`Rng::gen_range`] can sample from.
+pub trait SampleRange<T> {
+    /// Draws a uniform value from the range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty, matching `rand`'s contract.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! int_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as u128).wrapping_sub(self.start as u128);
+                self.start + (rng.next_u64() as u128 % span) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi as u128).wrapping_sub(lo as u128) + 1;
+                lo + (rng.next_u64() as u128 % span) as $t
+            }
+        }
+    )*};
+}
+
+int_sample_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        self.start + f64::draw(rng) * (self.end - self.start)
+    }
+}
+
+/// The user-facing generator trait (mirrors `rand::Rng`).
+pub trait Rng: RngCore {
+    /// Uniform value in `range`.
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample_from(self)
+    }
+
+    /// `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= p <= 1.0`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "gen_bool probability out of range"
+        );
+        f64::draw(self) < p
+    }
+
+    /// A uniformly distributed value of `T`.
+    fn gen<T: Standard>(&mut self) -> T {
+        T::draw(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Seedable generators (mirrors `rand::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+pub mod rngs {
+    //! Concrete generator types.
+
+    use super::{RngCore, SeedableRng};
+
+    /// The standard generator: xoshiro256** seeded via SplitMix64.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 expansion, as rand does for small seeds.
+            let mut x = seed;
+            let mut next = || {
+                x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            StdRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            // xoshiro256** by Blackman & Vigna (public domain).
+            let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+pub mod seq {
+    //! Slice sampling helpers.
+
+    use super::Rng;
+
+    /// Random selection from slices (mirrors `rand::seq::SliceRandom`).
+    pub trait SliceRandom {
+        /// The slice element type.
+        type Item;
+
+        /// A uniformly chosen element, or `None` if the slice is empty.
+        fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                self.get(rng.gen_range(0..self.len()))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v = rng.gen_range(3..9usize);
+            assert!((3..9).contains(&v));
+            let w = rng.gen_range(-5i64..=5);
+            assert!((-5..=5).contains(&w));
+            let f = rng.gen_range(0.25..0.75f64);
+            assert!((0.25..0.75).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_bool_is_roughly_calibrated() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.3)).count();
+        assert!((2_500..3_500).contains(&hits), "got {hits}");
+    }
+
+    #[test]
+    fn seeding_is_deterministic() {
+        let mut a = StdRng::seed_from_u64(9);
+        let mut b = StdRng::seed_from_u64(9);
+        for _ in 0..16 {
+            assert_eq!(a.gen_range(0..1_000_000u64), b.gen_range(0..1_000_000u64));
+        }
+    }
+
+    #[test]
+    fn choose_covers_all_elements() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let items = [1, 2, 3];
+        let mut seen = [false; 3];
+        for _ in 0..100 {
+            seen[*items.choose(&mut rng).unwrap() - 1] = true;
+        }
+        assert_eq!(seen, [true; 3]);
+        assert!(Vec::<u8>::new().choose(&mut rng).is_none());
+    }
+}

@@ -1,0 +1,7 @@
+//! Offline placeholder for the `serde` crate.
+//!
+//! The workspace only references serde behind the optional, off-by-default
+//! `serde` cargo feature of `wlq-log`/`wlq-pattern`. This placeholder exists
+//! so dependency resolution succeeds without network access; it does NOT
+//! implement serialization. Enabling the workspace `serde` features requires
+//! restoring the real crate in the workspace manifest.

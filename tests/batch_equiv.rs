@@ -1,0 +1,107 @@
+//! Equivalence suite for the flat arena-backed evaluation path.
+//!
+//! Random logs × random patterns (depth ≤ 4): [`Strategy::NaivePaper`],
+//! [`Strategy::Optimized`], and [`Strategy::Batch`] must produce identical
+//! incident sets, and the batch evaluator's ref-based `count`/`exists`
+//! (which never materialise an incident) must agree with the materialised
+//! answers. Deeper trees than `laws.rs` samples, because the batch path
+//! recycles operator batches through its arena at every internal node —
+//! depth is exactly what stresses the recycling.
+
+use proptest::prelude::*;
+
+use wlq::{attrs, Evaluator, Log, LogBuilder, Op, Pattern, Strategy as EvalStrategy};
+
+const ALPHABET: [&str; 4] = ["A", "B", "C", "D"];
+
+/// Random patterns over the alphabet, depth ≤ 4 (up to 16 leaves).
+fn arb_pattern() -> impl Strategy<Value = Pattern> {
+    let leaf = prop_oneof![
+        4 => (0..ALPHABET.len()).prop_map(|i| Pattern::atom(ALPHABET[i])),
+        1 => (0..ALPHABET.len()).prop_map(|i| Pattern::not_atom(ALPHABET[i])),
+    ];
+    leaf.prop_recursive(4, 16, 2, |inner| {
+        (0..4u8, inner.clone(), inner).prop_map(|(op, l, r)| {
+            let op = match op {
+                0 => Op::Consecutive,
+                1 => Op::Sequential,
+                2 => Op::Choice,
+                _ => Op::Parallel,
+            };
+            Pattern::binary(op, l, r)
+        })
+    })
+}
+
+/// Random logs: 1–4 instances, each 0–10 task records, interleaved.
+fn arb_log() -> impl Strategy<Value = Log> {
+    prop::collection::vec(prop::collection::vec(0..ALPHABET.len(), 0..10), 1..5).prop_map(
+        |instances| {
+            let mut b = LogBuilder::new();
+            let wids: Vec<_> = instances.iter().map(|_| b.start_instance()).collect();
+            let longest = instances.iter().map(Vec::len).max().unwrap_or(0);
+            for step in 0..longest {
+                for (i, acts) in instances.iter().enumerate() {
+                    if let Some(&a) = acts.get(step) {
+                        b.append(wids[i], ALPHABET[a], attrs! {}, attrs! {})
+                            .unwrap();
+                    }
+                }
+            }
+            b.build().unwrap()
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// All three strategies compute the same `incL(p)`.
+    #[test]
+    fn batch_equals_naive_and_optimized(log in arb_log(), p in arb_pattern()) {
+        let naive = Evaluator::with_strategy(&log, EvalStrategy::NaivePaper).evaluate(&p);
+        let optimized = Evaluator::with_strategy(&log, EvalStrategy::Optimized).evaluate(&p);
+        let batch = Evaluator::with_strategy(&log, EvalStrategy::Batch).evaluate(&p);
+        prop_assert_eq!(&naive, &optimized, "optimized diverged on {}", &p);
+        prop_assert_eq!(&naive, &batch, "batch diverged on {}", &p);
+    }
+
+    /// Ref-based counting and existence agree with materialised results.
+    #[test]
+    fn batch_count_and_exists_need_no_materialisation(log in arb_log(), p in arb_pattern()) {
+        let reference = Evaluator::with_strategy(&log, EvalStrategy::Optimized);
+        let batch = Evaluator::with_strategy(&log, EvalStrategy::Batch);
+        prop_assert_eq!(reference.count(&p), batch.count(&p), "count diverged on {}", &p);
+        prop_assert_eq!(reference.exists(&p), batch.exists(&p), "exists diverged on {}", &p);
+        prop_assert_eq!(
+            reference.matching_instances(&p),
+            batch.matching_instances(&p),
+            "matching_instances diverged on {}",
+            &p
+        );
+    }
+
+    /// Per-instance batch evaluation round-trips through the flat layout:
+    /// the converted incidents equal the classic per-instance evaluation,
+    /// already sorted and deduplicated.
+    #[test]
+    fn instance_batches_are_finished(log in arb_log(), p in arb_pattern()) {
+        let reference = Evaluator::with_strategy(&log, EvalStrategy::Optimized);
+        let batch = Evaluator::with_strategy(&log, EvalStrategy::Batch);
+        for wid in log.wids() {
+            let flat = batch.evaluate_instance_batch(&p, wid);
+            flat.debug_check_invariants();
+            let incidents = flat.into_incidents();
+            prop_assert!(incidents.windows(2).all(|w| w[0] < w[1]), "unfinished batch for {}", &p);
+            prop_assert_eq!(&incidents, &reference.evaluate_instance(&p, wid));
+        }
+    }
+
+    /// Parallel batch evaluation (per-worker arenas) equals sequential.
+    #[test]
+    fn parallel_batch_workers_agree(log in arb_log(), p in arb_pattern()) {
+        let sequential = Evaluator::with_strategy(&log, EvalStrategy::Batch).evaluate(&p);
+        let parallel = wlq::evaluate_parallel(&log, &p, 3, EvalStrategy::Batch);
+        prop_assert_eq!(sequential, parallel, "parallel batch diverged on {}", &p);
+    }
+}

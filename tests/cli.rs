@@ -29,7 +29,9 @@ fn help_lists_all_commands() {
     let out = wlq(&["help"]);
     assert!(out.status.success());
     let text = stdout(&out);
-    for cmd in ["simulate", "stats", "validate", "query", "explain", "mine", "check", "convert", "dot"] {
+    for cmd in [
+        "simulate", "stats", "validate", "query", "explain", "mine", "check", "convert", "dot",
+    ] {
         assert!(text.contains(cmd), "help is missing {cmd}");
     }
 }
@@ -88,7 +90,12 @@ fn query_flags_and_modes() {
     assert!(out.status.success(), "{}", stderr(&out));
 
     // All strategy/optimize/thread combinations agree on the count.
-    let baseline = stdout(&wlq(&["query", path_str, "Submit -> CheckCredit", "--count"]));
+    let baseline = stdout(&wlq(&[
+        "query",
+        path_str,
+        "Submit -> CheckCredit",
+        "--count",
+    ]));
     for flags in [
         vec!["--count", "--naive"],
         vec!["--count", "--no-optimize"],
@@ -116,7 +123,9 @@ fn query_flags_and_modes() {
 fn explain_and_mine_render_reports() {
     let path = temp_path("order.txt");
     let path_str = path.to_str().unwrap();
-    assert!(wlq(&["simulate", "order", "12", "9", path_str]).status.success());
+    assert!(wlq(&["simulate", "order", "12", "9", path_str])
+        .status
+        .success());
 
     let out = wlq(&["explain", path_str, "PlaceOrder -> (Ship & CollectPayment)"]);
     assert!(out.status.success(), "{}", stderr(&out));
@@ -137,7 +146,9 @@ fn explain_and_mine_render_reports() {
 fn check_detects_conforming_and_violating_logs() {
     let path = temp_path("conform.csv");
     let path_str = path.to_str().unwrap();
-    assert!(wlq(&["simulate", "order", "6", "2", path_str]).status.success());
+    assert!(wlq(&["simulate", "order", "6", "2", path_str])
+        .status
+        .success());
 
     let out = wlq(&["check", "order", path_str]);
     assert!(out.status.success(), "{}", stderr(&out));
@@ -174,7 +185,9 @@ fn convert_round_trips_across_formats() {
     let s4 = stdout(&wlq(&["stats", x]));
     assert_eq!(s1, s3);
     assert_eq!(s1, s4);
-    assert!(std::fs::read_to_string(&xes_path).unwrap().contains("<trace>"));
+    assert!(std::fs::read_to_string(&xes_path)
+        .unwrap()
+        .contains("<trace>"));
 
     for path in [text_path, csv_path, bin_path, xes_path] {
         std::fs::remove_file(path).ok();

@@ -55,15 +55,22 @@ fn clinic_invariants_hold_as_queries() {
     let eval = Evaluator::new(&log);
     // Model invariant: PayTreatment is always immediately preceded by
     // SeeDoctor, so the negated-consecutive pattern finds nothing.
-    assert_eq!(eval.count(&"!SeeDoctor ~> PayTreatment".parse().unwrap()), 0);
+    assert_eq!(
+        eval.count(&"!SeeDoctor ~> PayTreatment".parse().unwrap()),
+        0
+    );
     // Every instance starts GetRefer ~> CheckIn.
     assert_eq!(
-        eval.matching_instances(&"GetRefer ~> CheckIn".parse().unwrap()).len(),
+        eval.matching_instances(&"GetRefer ~> CheckIn".parse().unwrap())
+            .len(),
         200
     );
     // Reimbursement requires an active referral: CompleteRefer never
     // precedes GetReimburse.
-    assert_eq!(eval.count(&"CompleteRefer -> GetReimburse".parse().unwrap()), 0);
+    assert_eq!(
+        eval.count(&"CompleteRefer -> GetReimburse".parse().unwrap()),
+        0
+    );
 }
 
 #[test]
@@ -82,7 +89,8 @@ fn order_parallel_block_queries() {
     assert!(eval.matching_instances(&seq).len() < 120);
     // Every order eventually closes: CloseOrder → END consecutively.
     assert_eq!(
-        eval.matching_instances(&"CloseOrder ~> END".parse().unwrap()).len(),
+        eval.matching_instances(&"CloseOrder ~> END".parse().unwrap())
+            .len(),
         120
     );
 }
@@ -114,7 +122,10 @@ fn query_builder_threads_and_strategies_compose() {
                     .strategy(strategy)
                     .optimize(optimize)
                     .find(&log);
-                assert_eq!(got, base, "threads={threads} strategy={strategy:?} optimize={optimize}");
+                assert_eq!(
+                    got, base,
+                    "threads={threads} strategy={strategy:?} optimize={optimize}"
+                );
             }
         }
     }

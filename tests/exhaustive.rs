@@ -6,7 +6,7 @@
 //! we verify:
 //!
 //! * the Theorems 2–5 laws hold exactly,
-//! * the naive and optimized strategies agree,
+//! * the naive, optimized, and flat-batch strategies agree,
 //! * the streaming evaluator agrees with batch.
 //!
 //! Within these bounds the theorems are *proved* for this implementation,
@@ -128,7 +128,14 @@ fn exhaustive_theorem4_mixed_associativity_on_atoms() {
 fn exhaustive_theorem3_commutativity_on_depth2() {
     let logs = all_single_instance_logs();
     for p in depth2() {
-        let Pattern::Binary { op, ref left, ref right } = p else { unreachable!() };
+        let Pattern::Binary {
+            op,
+            ref left,
+            ref right,
+        } = p
+        else {
+            unreachable!()
+        };
         if !op.is_commutative() {
             continue;
         }
@@ -150,12 +157,18 @@ fn exhaustive_theorem5_distributivity_on_atoms() {
                 for p3 in &atoms {
                     // Left distributivity.
                     let lhs = Pattern::binary(op, p1.clone(), p2.clone().alt(p3.clone()));
-                    let rhs = Pattern::binary(op, p1.clone(), p2.clone())
-                        .alt(Pattern::binary(op, p1.clone(), p3.clone()));
+                    let rhs = Pattern::binary(op, p1.clone(), p2.clone()).alt(Pattern::binary(
+                        op,
+                        p1.clone(),
+                        p3.clone(),
+                    ));
                     // Right distributivity.
                     let lhs2 = Pattern::binary(op, p1.clone().alt(p2.clone()), p3.clone());
-                    let rhs2 = Pattern::binary(op, p1.clone(), p3.clone())
-                        .alt(Pattern::binary(op, p2.clone(), p3.clone()));
+                    let rhs2 = Pattern::binary(op, p1.clone(), p3.clone()).alt(Pattern::binary(
+                        op,
+                        p2.clone(),
+                        p3.clone(),
+                    ));
                     for log in &logs {
                         let eval = Evaluator::new(log);
                         assert_eq!(eval.evaluate(&lhs), eval.evaluate(&rhs), "T5L: {lhs}");
@@ -174,7 +187,9 @@ fn exhaustive_strategies_agree_on_depth2() {
         for log in &logs {
             let naive = Evaluator::with_strategy(log, Strategy::NaivePaper).evaluate(&p);
             let optimized = Evaluator::with_strategy(log, Strategy::Optimized).evaluate(&p);
+            let batch = Evaluator::with_strategy(log, Strategy::Batch).evaluate(&p);
             assert_eq!(naive, optimized, "strategy mismatch: {p} on {log}");
+            assert_eq!(naive, batch, "batch strategy mismatch: {p} on {log}");
         }
     }
 }
@@ -189,7 +204,11 @@ fn exhaustive_streaming_agrees_on_depth2() {
                 stream.append(record).unwrap();
             }
             let batch = Evaluator::new(log).evaluate(&p);
-            assert_eq!(stream.incidents(), batch, "streaming mismatch: {p} on {log}");
+            assert_eq!(
+                stream.incidents(),
+                batch,
+                "streaming mismatch: {p} on {log}"
+            );
         }
     }
 }

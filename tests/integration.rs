@@ -1,8 +1,7 @@
 //! Cross-crate integration: the paper's worked examples end to end.
 
 use wlq::{
-    io, paper, Evaluator, IncidentTree, IsLsn, LogIndex, LogStats, Pattern, Query, Strategy,
-    Wid,
+    io, paper, Evaluator, IncidentTree, IsLsn, LogIndex, LogStats, Pattern, Query, Strategy, Wid,
 };
 
 fn lsns_of(log: &wlq::Log, incident: &wlq::Incident) -> Vec<u64> {
@@ -24,7 +23,10 @@ fn e1_figure3_structure_and_example1() {
     assert_eq!(l4.wid(), Wid(1));
     assert_eq!(l4.is_lsn(), IsLsn(3));
     assert_eq!(l4.activity().as_str(), "CheckIn");
-    assert_eq!(l4.input().get_or_undefined("balance"), wlq::Value::Int(1000));
+    assert_eq!(
+        l4.input().get_or_undefined("balance"),
+        wlq::Value::Int(1000)
+    );
     assert_eq!(
         l4.output().get_or_undefined("referState"),
         wlq::Value::from("active")
@@ -48,7 +50,9 @@ fn e2_incident_tree_and_examples_3_5() {
     assert_eq!(lsns_of(&log, set.iter().next().unwrap()), vec![14, 20]);
 
     // Example 5: the Figure 4 tree, evaluated post-order.
-    let p: Pattern = "SeeDoctor -> (UpdateRefer -> GetReimburse)".parse().unwrap();
+    let p: Pattern = "SeeDoctor -> (UpdateRefer -> GetReimburse)"
+        .parse()
+        .unwrap();
     let tree = IncidentTree::from_pattern(&p);
     let (set, trace) = tree.evaluate_traced(&log, &index, Strategy::Optimized);
 

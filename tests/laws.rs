@@ -43,7 +43,8 @@ fn arb_log() -> impl Strategy<Value = Log> {
             for step in 0..longest {
                 for (i, acts) in instances.iter().enumerate() {
                     if let Some(&a) = acts.get(step) {
-                        b.append(wids[i], ALPHABET[a], attrs! {}, attrs! {}).unwrap();
+                        b.append(wids[i], ALPHABET[a], attrs! {}, attrs! {})
+                            .unwrap();
                     }
                 }
             }
@@ -158,13 +159,15 @@ proptest! {
         assert_equiv(&log, &lhs, &rhs)?;
     }
 
-    /// The naive (Algorithm 1) and optimized operator implementations are
-    /// semantically identical.
+    /// The naive (Algorithm 1), optimized, and flat-batch operator
+    /// implementations are semantically identical.
     #[test]
     fn naive_equals_optimized(log in arb_log(), p in arb_pattern()) {
         let naive = Evaluator::with_strategy(&log, EvalStrategy::NaivePaper).evaluate(&p);
         let optimized = Evaluator::with_strategy(&log, EvalStrategy::Optimized).evaluate(&p);
-        prop_assert_eq!(naive, optimized);
+        let batch = Evaluator::with_strategy(&log, EvalStrategy::Batch).evaluate(&p);
+        prop_assert_eq!(&naive, &optimized);
+        prop_assert_eq!(&naive, &batch);
     }
 
     /// AC-canonicalization (associativity + commutativity) preserves

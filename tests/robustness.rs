@@ -27,7 +27,10 @@ fn dropping_any_interior_record_is_detected() {
     for i in 0..base.len() - 1 {
         let mut rs = base.clone();
         rs.remove(i);
-        assert!(Log::new(rs).is_err(), "deletion of record {i} went undetected");
+        assert!(
+            Log::new(rs).is_err(),
+            "deletion of record {i} went undetected"
+        );
     }
     // The final record's deletion yields exactly the length-19 prefix.
     let mut rs = base.clone();
@@ -44,7 +47,10 @@ fn duplicating_any_record_is_detected() {
     for i in 0..base.len() {
         let mut rs = base.clone();
         rs.push(base[i].clone());
-        assert!(Log::new(rs).is_err(), "duplication of record {i} went undetected");
+        assert!(
+            Log::new(rs).is_err(),
+            "duplication of record {i} went undetected"
+        );
     }
 }
 
@@ -65,8 +71,22 @@ fn swapping_same_instance_records_is_detected() {
             let (li, lj) = (rs[i].lsn(), rs[j].lsn());
             let (mut a, mut b) = (rs[j].clone(), rs[i].clone());
             // Re-stamp lsns so condition 1 still holds; only order breaks.
-            a = LogRecord::new(li, a.wid(), a.is_lsn(), a.activity().clone(), a.input().clone(), a.output().clone());
-            b = LogRecord::new(lj, b.wid(), b.is_lsn(), b.activity().clone(), b.input().clone(), b.output().clone());
+            a = LogRecord::new(
+                li,
+                a.wid(),
+                a.is_lsn(),
+                a.activity().clone(),
+                a.input().clone(),
+                a.output().clone(),
+            );
+            b = LogRecord::new(
+                lj,
+                b.wid(),
+                b.is_lsn(),
+                b.activity().clone(),
+                b.input().clone(),
+                b.output().clone(),
+            );
             rs[i] = a;
             rs[j] = b;
             assert!(
@@ -237,12 +257,22 @@ fn conformance_catches_injected_reorderings() {
             update = Some(r.clone());
             continue;
         }
-        b.append(w, r.activity().clone(), r.input().clone(), r.output().clone())
-            .unwrap();
+        b.append(
+            w,
+            r.activity().clone(),
+            r.input().clone(),
+            r.output().clone(),
+        )
+        .unwrap();
     }
     let moved = update.expect("victim has an update");
-    b.append(w, moved.activity().clone(), moved.input().clone(), moved.output().clone())
-        .unwrap();
+    b.append(
+        w,
+        moved.activity().clone(),
+        moved.input().clone(),
+        moved.output().clone(),
+    )
+    .unwrap();
     b.end_instance(w).unwrap();
     let corrupted = b.build().unwrap();
 
@@ -275,11 +305,14 @@ fn merged_logs_answer_queries_like_their_parts() {
     let clinic = simulate(&scenarios::clinic::model(), &SimulationConfig::new(20, 1));
     let loans = simulate(&scenarios::loan::model(), &SimulationConfig::new(20, 2));
     let merged = Log::merge([clinic.clone(), loans.clone()]).unwrap();
-    for src in ["UpdateRefer -> GetReimburse", "Submit -> Reject", "GetRefer | Submit"] {
+    for src in [
+        "UpdateRefer -> GetReimburse",
+        "Submit -> Reject",
+        "GetRefer | Submit",
+    ] {
         let p: Pattern = src.parse().unwrap();
         let merged_count = Evaluator::new(&merged).count(&p);
-        let split_count =
-            Evaluator::new(&clinic).count(&p) + Evaluator::new(&loans).count(&p);
+        let split_count = Evaluator::new(&clinic).count(&p) + Evaluator::new(&loans).count(&p);
         assert_eq!(merged_count, split_count, "{src}");
     }
 }

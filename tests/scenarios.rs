@@ -7,7 +7,10 @@ use wlq::{analyses, scenarios};
 
 #[test]
 fn clinic_referral_protocol_is_visible_through_queries() {
-    let log = simulate(&scenarios::clinic::model(), &SimulationConfig::new(300, 101));
+    let log = simulate(
+        &scenarios::clinic::model(),
+        &SimulationConfig::new(300, 101),
+    );
     let eval = Evaluator::new(&log);
 
     // Protocol: every instance begins START ~> GetRefer ~> CheckIn.
@@ -22,14 +25,16 @@ fn clinic_referral_protocol_is_visible_through_queries() {
 
     // Completion follows reimbursement consecutively in this model.
     let complete = eval.count(&"CompleteRefer".parse().unwrap());
-    let reimburse_then_complete =
-        eval.count(&"GetReimburse ~> CompleteRefer".parse().unwrap());
+    let reimburse_then_complete = eval.count(&"GetReimburse ~> CompleteRefer".parse().unwrap());
     assert_eq!(complete, reimburse_then_complete);
 }
 
 #[test]
 fn clinic_anomaly_rates_are_plausible() {
-    let log = simulate(&scenarios::clinic::model(), &SimulationConfig::new(500, 202));
+    let log = simulate(
+        &scenarios::clinic::model(),
+        &SimulationConfig::new(500, 202),
+    );
     // Updates before reimbursement occur in a meaningful minority of
     // instances (the loop enters UpdateRefer with weight 0.15).
     let anomalous = analyses::update_before_reimburse(&log);
@@ -45,7 +50,10 @@ fn clinic_anomaly_rates_are_plausible() {
 
 #[test]
 fn clinic_high_balance_analysis_matches_threshold_semantics() {
-    let log = simulate(&scenarios::clinic::model(), &SimulationConfig::new(200, 303));
+    let log = simulate(
+        &scenarios::clinic::model(),
+        &SimulationConfig::new(200, 303),
+    );
     // Balances are drawn from 500..=8000, updates add 3000 each.
     let over_zero = analyses::high_balance_referrals(&log, 0);
     assert_eq!(over_zero.len(), 200, "every referral has positive balance");

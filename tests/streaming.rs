@@ -1,7 +1,9 @@
 //! Streaming (incremental) evaluation equals batch evaluation —
 //! property-tested over random logs and patterns, plus scenario replays.
 
-use proptest::prelude::{prop, prop_assert, prop_assert_eq, prop_oneof, proptest, ProptestConfig, Strategy};
+use proptest::prelude::{
+    prop, prop_assert, prop_assert_eq, prop_oneof, proptest, ProptestConfig, Strategy,
+};
 
 use wlq::prelude::*;
 use wlq::{attrs, scenarios, LogBuilder, Strategy as EvalStrategy};
@@ -35,7 +37,8 @@ fn arb_log() -> impl Strategy<Value = Log> {
             for step in 0..longest {
                 for (i, acts) in instances.iter().enumerate() {
                     if let Some(&a) = acts.get(step) {
-                        b.append(wids[i], ALPHABET[a], attrs! {}, attrs! {}).unwrap();
+                        b.append(wids[i], ALPHABET[a], attrs! {}, attrs! {})
+                            .unwrap();
                     }
                 }
             }
@@ -86,11 +89,7 @@ fn streaming_matches_batch_on_scenarios() {
         (scenarios::loan::model(), 33),
     ] {
         let log = simulate(&model, &SimulationConfig::new(40, seed));
-        let patterns = [
-            "START -> END",
-            "!START ~> !END",
-            "START ~> !END",
-        ];
+        let patterns = ["START -> END", "!START ~> !END", "START ~> !END"];
         for src in patterns {
             let p: Pattern = src.parse().unwrap();
             let mut stream = StreamingEvaluator::new(p.clone());
