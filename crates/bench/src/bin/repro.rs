@@ -644,9 +644,13 @@ fn e10_parallel_scaling() {
     println!("{:>8} {:>14} {:>10}", "threads", "eval (µs)", "speedup");
     let mut base = None;
     for &threads in &[1usize, 2, 4, 8] {
-        assert_eq!(eval.evaluate_parallel(&heavy, threads), reference);
+        assert_eq!(
+            eval.evaluate_parallel(&heavy, threads)
+                .expect("workers run"),
+            reference
+        );
         let t = time_median(3, || {
-            std::hint::black_box(eval.evaluate_parallel(&heavy, threads));
+            let _ = std::hint::black_box(eval.evaluate_parallel(&heavy, threads));
         });
         let baseline = *base.get_or_insert(t);
         println!(
@@ -662,6 +666,9 @@ fn e10_parallel_scaling() {
         &scenarios::clinic::model(),
         &SimulationConfig::new(1600, 11),
     );
-    let profile = Query::new(pattern).threads(4).profile(&log);
+    let profile = Query::new(pattern)
+        .threads(4)
+        .profile(&log)
+        .expect("profile runs");
     println!("\nQuery::profile on 1600 clinic instances:\n{profile}");
 }

@@ -20,27 +20,90 @@
 //! Log files are read/written by extension: `.csv` (CSV), `.bin`
 //! (binary), `.xes` (IEEE XES subset), anything else the Figure 3-style
 //! text table.
+//!
+//! ## Exit codes
+//!
+//! | code | meaning |
+//! |---|---|
+//! | 0 | success |
+//! | 1 | domain failure (e.g. `check` found violating instances) |
+//! | 2 | usage error (unknown command/scenario/flag, bad argument) |
+//! | 3 | pattern or rule-file parse error |
+//! | 4 | file I/O error |
+//! | 5 | malformed log file |
+//! | 6 | engine evaluation error |
 
+use std::fmt;
 use std::process::ExitCode;
 
 use wlq::{
-    io, mine_relations, scenarios, simulate, Explain, Log, LogStats, Pattern, Query,
+    io, mine_relations, scenarios, simulate, EngineError, Explain, Log, LogStats, Pattern, Query,
     SimulationConfig, Strategy, WorkflowModel,
 };
+
+/// A CLI failure, categorised for its exit code.
+#[derive(Debug)]
+enum CliError {
+    /// The invocation itself was wrong (exit 2).
+    Usage(String),
+    /// A pattern or rule file failed to parse (exit 3).
+    Parse(String),
+    /// A file could not be read or written (exit 4).
+    Io(String),
+    /// A log file was read but is not a valid log (exit 5).
+    InvalidLog(String),
+    /// The engine reported an evaluation error (exit 6).
+    Engine(EngineError),
+    /// The command ran but the answer is a failure, e.g. a
+    /// non-conforming log (exit 1).
+    Domain(String),
+}
+
+impl CliError {
+    fn exit_code(&self) -> u8 {
+        match self {
+            CliError::Domain(_) => 1,
+            CliError::Usage(_) => 2,
+            CliError::Parse(_) => 3,
+            CliError::Io(_) => 4,
+            CliError::InvalidLog(_) => 5,
+            CliError::Engine(_) => 6,
+        }
+    }
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Usage(m)
+            | CliError::Parse(m)
+            | CliError::Io(m)
+            | CliError::InvalidLog(m)
+            | CliError::Domain(m) => f.write_str(m),
+            CliError::Engine(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl From<EngineError> for CliError {
+    fn from(e: EngineError) -> Self {
+        CliError::Engine(e)
+    }
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match run(&args) {
         Ok(()) => ExitCode::SUCCESS,
-        Err(message) => {
-            eprintln!("error: {message}");
+        Err(e) => {
+            eprintln!("error: {e}");
             eprintln!("run `wlq help` for usage");
-            ExitCode::FAILURE
+            ExitCode::from(e.exit_code())
         }
     }
 }
 
-fn run(args: &[String]) -> Result<(), String> {
+fn run(args: &[String]) -> Result<(), CliError> {
     let command = args.first().map(String::as_str).unwrap_or("help");
     match command {
         "help" | "--help" | "-h" => {
@@ -63,7 +126,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "convert" => cmd_convert(&args[1..]),
         "audit" => cmd_audit(&args[1..]),
         "dot" => cmd_dot(&args[1..]),
-        other => Err(format!("unknown command {other:?}")),
+        other => Err(CliError::Usage(format!("unknown command {other:?}"))),
     }
 }
 
@@ -85,42 +148,51 @@ fn usage() -> String {
      \x20 dot      <clinic|order|loan|helpdesk>\n\
      \x20 example\n\
      \n\
+     exit codes: 0 ok, 1 domain failure, 2 usage, 3 pattern/rules parse,\n\
+     4 file I/O, 5 malformed log, 6 engine error\n\
+     \n\
      pattern syntax: activity names composed with ~> (consecutive), -> (sequential),\n\
      | (choice), & (parallel); !A negates; A[out.balance > 5000] filters attributes.\n"
         .to_string()
 }
 
-fn scenario_model(name: &str) -> Result<WorkflowModel, String> {
+fn usage_err(msg: &str) -> CliError {
+    CliError::Usage(msg.to_string())
+}
+
+fn scenario_model(name: &str) -> Result<WorkflowModel, CliError> {
     match name {
         "clinic" => Ok(scenarios::clinic::model()),
         "order" => Ok(scenarios::order::model()),
         "loan" => Ok(scenarios::loan::model()),
         "helpdesk" => Ok(scenarios::helpdesk::model()),
-        other => Err(format!(
+        other => Err(CliError::Usage(format!(
             "unknown scenario {other:?} (expected clinic, order, loan, or helpdesk)"
-        )),
+        ))),
     }
 }
 
-fn read_log(path: &str) -> Result<Log, String> {
-    let read_err = |e: std::io::Error| format!("cannot read {path}: {e}");
+fn read_log(path: &str) -> Result<Log, CliError> {
+    let read_err = |e: std::io::Error| CliError::Io(format!("cannot read {path}: {e}"));
     if path.ends_with(".bin") {
         let raw = std::fs::read(path).map_err(read_err)?;
-        io::binary::read_binary(raw.into()).map_err(|e| format!("{path}: {e}"))
+        io::binary::read_binary(raw.into())
+            .map_err(|e| CliError::InvalidLog(format!("{path}: {e}")))
     } else {
         let text = std::fs::read_to_string(path).map_err(read_err)?;
-        if path.ends_with(".csv") {
-            io::csv::read_csv(&text).map_err(|e| format!("{path}: {e}"))
+        let parsed = if path.ends_with(".csv") {
+            io::csv::read_csv(&text)
         } else if path.ends_with(".xes") {
-            io::xes::read_xes(&text).map_err(|e| format!("{path}: {e}"))
+            io::xes::read_xes(&text)
         } else {
-            io::text::read_text(&text).map_err(|e| format!("{path}: {e}"))
-        }
+            io::text::read_text(&text)
+        };
+        parsed.map_err(|e| CliError::InvalidLog(format!("{path}: {e}")))
     }
 }
 
-fn write_log(log: &Log, path: &str) -> Result<(), String> {
-    let write_err = |e: std::io::Error| format!("cannot write {path}: {e}");
+fn write_log(log: &Log, path: &str) -> Result<(), CliError> {
+    let write_err = |e: std::io::Error| CliError::Io(format!("cannot write {path}: {e}"));
     if path.ends_with(".bin") {
         std::fs::write(path, io::binary::write_binary(log)).map_err(write_err)
     } else if path.ends_with(".csv") {
@@ -132,21 +204,24 @@ fn write_log(log: &Log, path: &str) -> Result<(), String> {
     }
 }
 
-fn parse_pattern(src: &str) -> Result<Pattern, String> {
-    src.parse().map_err(|e| format!("bad pattern {src:?}: {e}"))
+fn parse_pattern(src: &str) -> Result<Pattern, CliError> {
+    src.parse()
+        .map_err(|e| CliError::Parse(format!("bad pattern {src:?}: {e}")))
 }
 
-fn cmd_simulate(args: &[String]) -> Result<(), String> {
+fn cmd_simulate(args: &[String]) -> Result<(), CliError> {
     let [scenario, instances, seed, rest @ ..] = args else {
-        return Err("usage: simulate <scenario> <instances> <seed> [out-file]".to_string());
+        return Err(usage_err(
+            "usage: simulate <scenario> <instances> <seed> [out-file]",
+        ));
     };
     let model = scenario_model(scenario)?;
     let instances: usize = instances
         .parse()
-        .map_err(|_| format!("instances must be a number, got {instances:?}"))?;
+        .map_err(|_| CliError::Usage(format!("instances must be a number, got {instances:?}")))?;
     let seed: u64 = seed
         .parse()
-        .map_err(|_| format!("seed must be a number, got {seed:?}"))?;
+        .map_err(|_| CliError::Usage(format!("seed must be a number, got {seed:?}")))?;
     let log = simulate(&model, &SimulationConfig::new(instances, seed));
     match rest {
         [] => print!("{}", io::text::write_text(&log)),
@@ -158,23 +233,23 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
                 log.num_instances()
             );
         }
-        _ => return Err("too many arguments to simulate".to_string()),
+        _ => return Err(usage_err("too many arguments to simulate")),
     }
     Ok(())
 }
 
-fn cmd_stats(args: &[String]) -> Result<(), String> {
+fn cmd_stats(args: &[String]) -> Result<(), CliError> {
     let [path] = args else {
-        return Err("usage: stats <log-file>".to_string());
+        return Err(usage_err("usage: stats <log-file>"));
     };
     let log = read_log(path)?;
     print!("{}", LogStats::compute(&log));
     Ok(())
 }
 
-fn cmd_validate(args: &[String]) -> Result<(), String> {
+fn cmd_validate(args: &[String]) -> Result<(), CliError> {
     let [path] = args else {
-        return Err("usage: validate <log-file>".to_string());
+        return Err(usage_err("usage: validate <log-file>"));
     };
     let log = read_log(path)?;
     println!(
@@ -186,12 +261,13 @@ fn cmd_validate(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_query(args: &[String]) -> Result<(), String> {
+fn cmd_query(args: &[String]) -> Result<(), CliError> {
     let [path, pattern_src, flags @ ..] = args else {
-        return Err("usage: query <log-file> <pattern> [flags]".to_string());
+        return Err(usage_err("usage: query <log-file> <pattern> [flags]"));
     };
     let log = read_log(path)?;
-    let mut query = Query::parse(pattern_src).map_err(|e| format!("bad pattern: {e}"))?;
+    let mut query =
+        Query::parse(pattern_src).map_err(|e| CliError::Parse(format!("bad pattern: {e}")))?;
     let mut mode = "list";
     let mut iter = flags.iter();
     while let Some(flag) = iter.next() {
@@ -204,24 +280,24 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
             "--threads" => {
                 let n: usize = iter
                     .next()
-                    .ok_or("--threads needs a number")?
+                    .ok_or_else(|| usage_err("--threads needs a number"))?
                     .parse()
-                    .map_err(|_| "--threads needs a number".to_string())?;
+                    .map_err(|_| usage_err("--threads needs a number"))?;
                 query = query.threads(n);
             }
-            other => return Err(format!("unknown flag {other:?}")),
+            other => return Err(CliError::Usage(format!("unknown flag {other:?}"))),
         }
     }
     match mode {
-        "count" => println!("{}", query.count(&log)),
-        "exists" => println!("{}", query.exists(&log)),
+        "count" => println!("{}", query.count(&log)?),
+        "exists" => println!("{}", query.exists(&log)?),
         "by-instance" => {
-            for (wid, count) in query.count_by_instance(&log) {
+            for (wid, count) in query.count_by_instance(&log)? {
                 println!("wid {wid}: {count}");
             }
         }
         _ => {
-            let incidents = query.find(&log);
+            let incidents = query.find(&log)?;
             println!(
                 "{} incident(s) in {} instance(s)",
                 incidents.len(),
@@ -238,9 +314,9 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_explain(args: &[String]) -> Result<(), String> {
+fn cmd_explain(args: &[String]) -> Result<(), CliError> {
     let [path, pattern_src] = args else {
-        return Err("usage: explain <log-file> <pattern>".to_string());
+        return Err(usage_err("usage: explain <log-file> <pattern>"));
     };
     let log = read_log(path)?;
     let pattern = parse_pattern(pattern_src)?;
@@ -249,16 +325,16 @@ fn cmd_explain(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_timeline(args: &[String]) -> Result<(), String> {
+fn cmd_timeline(args: &[String]) -> Result<(), CliError> {
     let (path, pattern_src, step) = match args {
         [path, pattern] => (path, pattern, 0usize),
         [path, pattern, step] => (
             path,
             pattern,
             step.parse()
-                .map_err(|_| format!("step must be a number, got {step:?}"))?,
+                .map_err(|_| CliError::Usage(format!("step must be a number, got {step:?}")))?,
         ),
-        _ => return Err("usage: timeline <log-file> <pattern> [step]".to_string()),
+        _ => return Err(usage_err("usage: timeline <log-file> <pattern> [step]")),
     };
     let log = read_log(path)?;
     let pattern = parse_pattern(pattern_src)?;
@@ -268,7 +344,7 @@ fn cmd_timeline(args: &[String]) -> Result<(), String> {
         step
     };
     println!("{:>10} {:>12} {:>8}", "up to lsn", "incidents", "new");
-    for point in wlq::timeline(&log, &pattern, step) {
+    for point in wlq::timeline(&log, &pattern, step)? {
         println!(
             "{:>10} {:>12} {:>8}",
             point.lsn.get(),
@@ -279,29 +355,30 @@ fn cmd_timeline(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_spans(args: &[String]) -> Result<(), String> {
+fn cmd_spans(args: &[String]) -> Result<(), CliError> {
     let [path, pattern_src] = args else {
-        return Err("usage: spans <log-file> <pattern>".to_string());
+        return Err(usage_err("usage: spans <log-file> <pattern>"));
     };
     let log = read_log(path)?;
-    let query = Query::parse(pattern_src).map_err(|e| format!("bad pattern: {e}"))?;
-    match query.span_stats(&log) {
+    let query =
+        Query::parse(pattern_src).map_err(|e| CliError::Parse(format!("bad pattern: {e}")))?;
+    match query.span_stats(&log)? {
         Some(stats) => println!("{stats}"),
         None => println!("no incidents"),
     }
     Ok(())
 }
 
-fn cmd_mine(args: &[String]) -> Result<(), String> {
+fn cmd_mine(args: &[String]) -> Result<(), CliError> {
     let (path, min_support) = match args {
         [path] => (path, 2),
         [path, support] => (
             path,
-            support
-                .parse()
-                .map_err(|_| format!("min-support must be a number, got {support:?}"))?,
+            support.parse().map_err(|_| {
+                CliError::Usage(format!("min-support must be a number, got {support:?}"))
+            })?,
         ),
-        _ => return Err("usage: mine <log-file> [min-support]".to_string()),
+        _ => return Err(usage_err("usage: mine <log-file> [min-support]")),
     };
     let log = read_log(path)?;
     let relations = mine_relations(&log, min_support);
@@ -319,9 +396,9 @@ fn cmd_mine(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_check(args: &[String]) -> Result<(), String> {
+fn cmd_check(args: &[String]) -> Result<(), CliError> {
     let [scenario, path] = args else {
-        return Err("usage: check <scenario> <log-file>".to_string());
+        return Err(usage_err("usage: check <scenario> <log-file>"));
     };
     let model = scenario_model(scenario)?;
     let log = read_log(path)?;
@@ -334,28 +411,28 @@ fn cmd_check(args: &[String]) -> Result<(), String> {
         println!("log conforms to {}", model.name());
         Ok(())
     } else {
-        Err(format!(
+        Err(CliError::Domain(format!(
             "{} instance(s) violate the model",
             violations.len()
-        ))
+        )))
     }
 }
 
-fn cmd_audit(args: &[String]) -> Result<(), String> {
+fn cmd_audit(args: &[String]) -> Result<(), CliError> {
     let (path, rules) = match args {
         [path] => (path, wlq::rules::RuleSet::clinic_fraud()),
         [path, rules_file] => {
             let text = std::fs::read_to_string(rules_file)
-                .map_err(|e| format!("cannot read {rules_file}: {e}"))?;
+                .map_err(|e| CliError::Io(format!("cannot read {rules_file}: {e}")))?;
             (
                 path,
-                wlq::rules::RuleSet::parse(&text).map_err(|e| e.to_string())?,
+                wlq::rules::RuleSet::parse(&text).map_err(|e| CliError::Parse(e.to_string()))?,
             )
         }
-        _ => return Err("usage: audit <log-file> [rules-file]".to_string()),
+        _ => return Err(usage_err("usage: audit <log-file> [rules-file]")),
     };
     let log = read_log(path)?;
-    let report = rules.audit(&log);
+    let report = rules.audit(&log)?;
     print!("{report}");
     for (wid, hits) in report.repeat_offenders(2).into_iter().take(10) {
         println!("  repeat offender: instance {wid} tripped {hits} rules");
@@ -363,9 +440,9 @@ fn cmd_audit(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_convert(args: &[String]) -> Result<(), String> {
+fn cmd_convert(args: &[String]) -> Result<(), CliError> {
     let [input, output] = args else {
-        return Err("usage: convert <in-file> <out-file>".to_string());
+        return Err(usage_err("usage: convert <in-file> <out-file>"));
     };
     let log = read_log(input)?;
     write_log(&log, output)?;
@@ -373,9 +450,9 @@ fn cmd_convert(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_dot(args: &[String]) -> Result<(), String> {
+fn cmd_dot(args: &[String]) -> Result<(), CliError> {
     let [scenario] = args else {
-        return Err("usage: dot <scenario>".to_string());
+        return Err(usage_err("usage: dot <scenario>"));
     };
     print!("{}", scenario_model(scenario)?.to_dot());
     Ok(())

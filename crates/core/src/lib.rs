@@ -28,8 +28,8 @@
 //! // …and ask the paper's question: does anyone update their referral
 //! // before being reimbursed?
 //! let q = Query::parse("UpdateRefer -> GetReimburse")?;
-//! println!("{} anomalous incident(s)", q.count(&log));
-//! # Ok::<(), wlq::ParsePatternError>(())
+//! println!("{} anomalous incident(s)", q.count(&log)?);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
 #![warn(missing_docs)]
@@ -38,9 +38,9 @@
 pub use wlq_engine::{
     combine, combine_batch, combine_batch_into, equivalent_up_to, evaluate_parallel, fast_count,
     leaf_batch, leaf_incidents, mine_relations, timeline, BatchArena, BoundIncident, BoundedEquiv,
-    EvalTrace, Evaluator, Explain, ExplainRow, Incident, IncidentBatch, IncidentRef, IncidentSet,
-    IncidentTree, LabelledPattern, MinedRelation, Node, NodeTrace, Query, QueryProfile,
-    SharedStreamingEvaluator, SpanStats, Strategy, StreamingEvaluator, TimelinePoint,
+    EngineError, EvalTrace, Evaluator, Explain, ExplainRow, Incident, IncidentBatch, IncidentRef,
+    IncidentSet, IncidentTree, LabelledPattern, MinedRelation, Node, NodeTrace, Query,
+    QueryProfile, SharedStreamingEvaluator, SpanStats, Strategy, StreamingEvaluator, TimelinePoint,
 };
 pub use wlq_log::{
     attrs, io, paper, Activity, AttrMap, AttrName, IsLsn, Log, LogBuilder, LogError, LogIndex,
@@ -82,14 +82,18 @@ pub mod analyses {
 
     use std::collections::BTreeMap;
 
-    use wlq_engine::Query;
+    use wlq_engine::{EngineError, Query};
     use wlq_log::{Log, Value, Wid};
     use wlq_pattern::{CmpOp, Pattern, Predicate};
 
     /// Instances whose referral was issued (or later updated to) a balance
     /// strictly above `threshold`. Uses the attribute-predicate extension.
-    #[must_use]
-    pub fn high_balance_referrals(log: &Log, threshold: i64) -> Vec<Wid> {
+    ///
+    /// # Errors
+    ///
+    /// Propagates the engine's [`EngineError`] (impossible for these
+    /// default-configured queries).
+    pub fn high_balance_referrals(log: &Log, threshold: i64) -> Result<Vec<Wid>, EngineError> {
         let refer = Pattern::Atom(
             wlq_pattern::Atom::new("GetRefer").with_predicate(Predicate::new(
                 "balance",
@@ -104,17 +108,21 @@ pub mod analyses {
                 threshold,
             )),
         );
-        Query::new(refer.alt(update)).find(log).wids().collect()
+        Ok(Query::new(refer.alt(update)).find(log)?.wids().collect())
     }
 
     /// Like [`high_balance_referrals`], additionally grouped by the value
     /// of `group_attr` (e.g. a `year` attribute) at the matching record.
-    #[must_use]
+    ///
+    /// # Errors
+    ///
+    /// Propagates the engine's [`EngineError`] (impossible for these
+    /// default-configured queries).
     pub fn high_balance_referrals_by(
         log: &Log,
         threshold: i64,
         group_attr: &str,
-    ) -> BTreeMap<Value, usize> {
+    ) -> Result<BTreeMap<Value, usize>, EngineError> {
         let refer = Pattern::Atom(
             wlq_pattern::Atom::new("GetRefer").with_predicate(Predicate::new(
                 "balance",
@@ -127,24 +135,29 @@ pub mod analyses {
 
     /// The Section 2 query: instances where a referral update happens
     /// *before* a reimbursement (`UpdateRefer → GetReimburse`).
-    #[must_use]
-    pub fn update_before_reimburse(log: &Log) -> Vec<Wid> {
-        Query::parse("UpdateRefer -> GetReimburse")
-            .expect("static pattern parses")
-            .find(log)
-            .wids()
-            .collect()
+    ///
+    /// # Errors
+    ///
+    /// Propagates the engine's [`EngineError`] (impossible for these
+    /// default-configured queries).
+    pub fn update_before_reimburse(log: &Log) -> Result<Vec<Wid>, EngineError> {
+        static_query("UpdateRefer -> GetReimburse", log)
     }
 
     /// The introduction's fraud hint: instances updating a referral
     /// *after* already being reimbursed (`GetReimburse → UpdateRefer`).
-    #[must_use]
-    pub fn update_after_reimburse(log: &Log) -> Vec<Wid> {
-        Query::parse("GetReimburse -> UpdateRefer")
-            .expect("static pattern parses")
-            .find(log)
-            .wids()
-            .collect()
+    ///
+    /// # Errors
+    ///
+    /// Propagates the engine's [`EngineError`] (impossible for these
+    /// default-configured queries).
+    pub fn update_after_reimburse(log: &Log) -> Result<Vec<Wid>, EngineError> {
+        static_query("GetReimburse -> UpdateRefer", log)
+    }
+
+    fn static_query(pattern: &str, log: &Log) -> Result<Vec<Wid>, EngineError> {
+        let query = Query::parse(pattern).map_err(EngineError::Pattern)?;
+        Ok(query.find(log)?.wids().collect())
     }
 
     #[cfg(test)]
@@ -155,19 +168,25 @@ pub mod analyses {
         #[test]
         fn figure3_update_before_reimburse_is_wid2() {
             let log = paper::figure3_log();
-            assert_eq!(update_before_reimburse(&log), vec![Wid(2)]);
-            assert!(update_after_reimburse(&log).is_empty());
+            assert_eq!(update_before_reimburse(&log).unwrap(), vec![Wid(2)]);
+            assert!(update_after_reimburse(&log).unwrap().is_empty());
         }
 
         #[test]
         fn figure3_high_balance_thresholds() {
             let log = paper::figure3_log();
             // Initial balances: 1000, 2000, 500; wid 2 updates to 5000.
-            assert_eq!(high_balance_referrals(&log, 5000), Vec::<Wid>::new());
-            assert_eq!(high_balance_referrals(&log, 4999), vec![Wid(2)]);
-            assert_eq!(high_balance_referrals(&log, 900), vec![Wid(1), Wid(2)]);
             assert_eq!(
-                high_balance_referrals(&log, 100),
+                high_balance_referrals(&log, 5000).unwrap(),
+                Vec::<Wid>::new()
+            );
+            assert_eq!(high_balance_referrals(&log, 4999).unwrap(), vec![Wid(2)]);
+            assert_eq!(
+                high_balance_referrals(&log, 900).unwrap(),
+                vec![Wid(1), Wid(2)]
+            );
+            assert_eq!(
+                high_balance_referrals(&log, 100).unwrap(),
                 vec![Wid(1), Wid(2), Wid(3)]
             );
         }
@@ -175,7 +194,7 @@ pub mod analyses {
         #[test]
         fn grouping_by_hospital_counts_instances() {
             let log = paper::figure3_log();
-            let groups = high_balance_referrals_by(&log, 900, "hospital");
+            let groups = high_balance_referrals_by(&log, 900, "hospital").unwrap();
             assert_eq!(groups[&Value::from("Public Hospital")], 1);
             assert_eq!(groups[&Value::from("People Hospital")], 1);
         }

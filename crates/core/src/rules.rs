@@ -19,7 +19,7 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
-use wlq_engine::{IncidentSet, Query};
+use wlq_engine::{EngineError, IncidentSet, Query};
 use wlq_log::{Log, Wid};
 use wlq_pattern::ParsePatternError;
 
@@ -158,12 +158,16 @@ impl RuleSet {
     }
 
     /// Runs every rule against `log`.
-    #[must_use]
-    pub fn audit(&self, log: &Log) -> AuditReport {
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`EngineError`] any rule's query reports
+    /// (impossible for default-configured rule queries).
+    pub fn audit(&self, log: &Log) -> Result<AuditReport, EngineError> {
         let mut rows = Vec::with_capacity(self.rules.len());
         let mut flagged: BTreeMap<Wid, Vec<String>> = BTreeMap::new();
         for rule in &self.rules {
-            let incidents = rule.query.find(log);
+            let incidents = rule.query.find(log)?;
             for wid in incidents.wids() {
                 flagged.entry(wid).or_default().push(rule.name.clone());
             }
@@ -173,13 +177,20 @@ impl RuleSet {
                 incidents,
             });
         }
-        AuditReport { rows, flagged }
+        Ok(AuditReport { rows, flagged })
     }
 
     /// The built-in clinic fraud battery used by the examples and the CLI.
+    ///
+    /// # Panics
+    ///
+    /// Never in practice: the built-in rule text is covered by tests.
     #[must_use]
     pub fn clinic_fraud() -> RuleSet {
-        RuleSet::parse(CLINIC_FRAUD_RULES).expect("built-in rules parse")
+        match RuleSet::parse(CLINIC_FRAUD_RULES) {
+            Ok(set) => set,
+            Err(e) => panic!("built-in rules parse: {e}"),
+        }
     }
 }
 
@@ -298,7 +309,7 @@ mod tests {
     #[test]
     fn clinic_battery_flags_figure3_instance2() {
         let log = paper::figure3_log();
-        let report = RuleSet::clinic_fraud().audit(&log);
+        let report = RuleSet::clinic_fraud().audit(&log).unwrap();
         // update-before-reimburse hits wid 2.
         let row = &report.rows[0];
         assert_eq!(row.name, "update-before-reimburse");
@@ -315,7 +326,7 @@ mod tests {
     #[test]
     fn report_display_mentions_every_rule() {
         let log = paper::figure3_log();
-        let report = RuleSet::clinic_fraud().audit(&log);
+        let report = RuleSet::clinic_fraud().audit(&log).unwrap();
         let text = report.to_string();
         for rule in RuleSet::clinic_fraud().rules() {
             assert!(text.contains(&rule.name), "missing {}", rule.name);

@@ -179,11 +179,16 @@ impl IncidentBatch {
 
     fn push_ref(&mut self, offset: usize, len: usize, first: IsLsn, last: IsLsn) {
         debug_assert!(len > 0, "incidents are nonempty");
-        let offset = u32::try_from(offset).expect("position pool exceeds u32::MAX entries");
-        let len = u32::try_from(len).expect("incident exceeds u32::MAX positions");
+        // A u32 ref layout caps each per-instance pool at 2^32 positions —
+        // far above any real instance; the guard keeps the cast lossless.
+        assert!(
+            offset <= u32::MAX as usize && len <= u32::MAX as usize,
+            "position pool exceeds u32::MAX entries"
+        );
+        #[allow(clippy::cast_possible_truncation)]
         self.refs.push(IncidentRef {
-            offset,
-            len,
+            offset: offset as u32,
+            len: len as u32,
             first,
             last,
         });

@@ -36,19 +36,13 @@ pub struct BoundIncident {
 }
 
 impl BoundIncident {
-    /// Resolves a binding to its global log sequence number.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the incident did not come from `log`.
+    /// Resolves a binding to its global log sequence number. Returns
+    /// `None` when the variable is unbound or the incident did not come
+    /// from `log`.
     #[must_use]
     pub fn lsn_of(&self, var: &str, log: &Log) -> Option<wlq_log::Lsn> {
         let position = *self.bindings.get(var)?;
-        Some(
-            log.record(self.incident.wid(), position)
-                .expect("bindings resolve in their log")
-                .lsn(),
-        )
+        Some(log.record(self.incident.wid(), position)?.lsn())
     }
 }
 
@@ -325,8 +319,9 @@ fn combine_bound(op: Op, left: &[BoundIncident], right: &[BoundIncident]) -> Vec
                     let ok = match op {
                         Op::Consecutive => l.incident.last().next() == r.incident.first(),
                         Op::Sequential => l.incident.last() < r.incident.first(),
-                        Op::Parallel => l.incident.is_disjoint(&r.incident),
-                        Op::Choice => unreachable!(),
+                        // Choice is handled by the arm above; treating it
+                        // as a filter here would be wrong, so reject.
+                        Op::Parallel | Op::Choice => l.incident.is_disjoint(&r.incident),
                     };
                     if ok {
                         let mut bindings = l.bindings.clone();

@@ -18,28 +18,50 @@
 use wlq_log::Log;
 use wlq_pattern::{Atom, Op, Pattern};
 
-/// One step of a supported chain.
+/// The operator linking two adjacent chain atoms: a strict subset of
+/// [`Op`], so downstream code cannot observe a choice/parallel operator
+/// inside a chain by construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ChainOp {
+    /// `~>` — the next record is the immediate successor.
+    Cons,
+    /// `->` — the next record is any later record.
+    Seq,
+}
+
+/// A flattened `~>`/`->` chain. The first atom is stored apart from the
+/// `(operator, atom)` tail, so "every non-first step has an operator" is a
+/// structural fact rather than a runtime invariant to `expect` on.
 #[derive(Debug, Clone)]
-struct ChainStep {
-    atom: Atom,
-    /// The operator *before* this atom (`None` for the first).
-    op: Option<Op>,
+struct Chain {
+    first: Atom,
+    tail: Vec<(ChainOp, Atom)>,
+}
+
+impl Chain {
+    fn len(&self) -> usize {
+        1 + self.tail.len()
+    }
+
+    /// The atoms in order, paired with the operator *before* each
+    /// (`None` exactly for the first).
+    fn steps(&self) -> impl Iterator<Item = (Option<ChainOp>, &Atom)> {
+        std::iter::once((None, &self.first))
+            .chain(self.tail.iter().map(|(op, atom)| (Some(*op), atom)))
+    }
 }
 
 /// Flattens `pattern` into a `~>`/`->` chain of atoms, or `None` if the
 /// pattern has any other shape (choice, parallel, or nested operands) or
 /// uses attribute predicates (which need record access).
-fn as_chain(pattern: &Pattern) -> Option<Vec<ChainStep>> {
-    fn walk(p: &Pattern, out: &mut Vec<ChainStep>, op_before: Option<Op>) -> bool {
+fn as_chain(pattern: &Pattern) -> Option<Chain> {
+    fn walk(p: &Pattern, atoms: &mut Vec<Atom>, ops: &mut Vec<ChainOp>) -> bool {
         match p {
             Pattern::Atom(atom) => {
                 if !atom.predicates.is_empty() {
                     return false;
                 }
-                out.push(ChainStep {
-                    atom: atom.clone(),
-                    op: op_before,
-                });
+                atoms.push(atom.clone());
                 true
             }
             Pattern::Binary {
@@ -49,17 +71,33 @@ fn as_chain(pattern: &Pattern) -> Option<Vec<ChainStep>> {
             } => {
                 // The operator sits between left's last atom and right's
                 // first atom, in any parenthesisation.
-                walk(left, out, op_before) && walk(right, out, Some(*op))
+                if !walk(left, atoms, ops) {
+                    return false;
+                }
+                ops.push(if *op == Op::Consecutive {
+                    ChainOp::Cons
+                } else {
+                    ChainOp::Seq
+                });
+                walk(right, atoms, ops)
             }
             Pattern::Binary { .. } => false,
         }
     }
-    let mut out = Vec::new();
-    if walk(pattern, &mut out, None) {
-        Some(out)
-    } else {
-        None
+    let mut atoms = Vec::new();
+    let mut ops = Vec::new();
+    if !walk(pattern, &mut atoms, &mut ops) {
+        return None;
     }
+    // A successful walk pushes one operator per binary node visited, i.e.
+    // exactly one fewer than the atoms it flattens.
+    debug_assert_eq!(ops.len() + 1, atoms.len());
+    let mut atoms = atoms.into_iter();
+    let first = atoms.next()?;
+    Some(Chain {
+        first,
+        tail: ops.into_iter().zip(atoms).collect(),
+    })
 }
 
 /// Counts `|incL(pattern)|` without materialising incidents, if the
@@ -93,22 +131,17 @@ pub fn fast_count(log: &Log, pattern: &Pattern) -> Option<usize> {
             // position's state, highest j first (no self-interference
             // needed since we read prev via `cum`/`prev_exact`).
             let prev_exact: Vec<usize> = exact.clone();
-            for (j, step) in chain.iter().enumerate() {
-                let matches = if step.atom.negated {
-                    activity != &step.atom.activity
+            for (j, (op_before, atom)) in chain.steps().enumerate() {
+                let matches = if atom.negated {
+                    activity != &atom.activity
                 } else {
-                    activity == &step.atom.activity
+                    activity == &atom.activity
                 };
-                exact[j] = if !matches {
-                    0
-                } else if j == 0 {
-                    1
-                } else {
-                    match step.op.expect("non-first steps carry an operator") {
-                        Op::Sequential => cum[j - 1],
-                        Op::Consecutive => prev_exact[j - 1],
-                        _ => unreachable!("chains only contain ~> and ->"),
-                    }
+                exact[j] = match (matches, op_before) {
+                    (false, _) => 0,
+                    (true, None) => 1,
+                    (true, Some(ChainOp::Seq)) => cum[j - 1],
+                    (true, Some(ChainOp::Cons)) => prev_exact[j - 1],
                 };
             }
             // Fold this position into the cumulative counts *after*

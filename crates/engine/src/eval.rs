@@ -59,14 +59,17 @@ pub fn combine(strategy: Strategy, op: Op, left: &[Incident], right: &[Incident]
 
 /// Whether one record satisfies an atom's attribute predicates.
 fn atom_admits(atom: &Atom, log: &Log, wid: Wid, position: IsLsn) -> bool {
-    atom.predicates.is_empty() || {
-        let record = log
-            .record(wid, position)
-            .expect("index positions exist in the log");
-        atom.predicates
-            .iter()
-            .all(|pred| pred.matches(record.input(), record.output()))
+    if atom.predicates.is_empty() {
+        return true;
     }
+    // Index positions always exist in the log the index was built from; a
+    // miss (impossible by construction) conservatively admits nothing.
+    let Some(record) = log.record(wid, position) else {
+        return false;
+    };
+    atom.predicates
+        .iter()
+        .all(|pred| pred.matches(record.input(), record.output()))
 }
 
 /// The incidents of an atomic pattern in one instance: every record whose

@@ -63,14 +63,18 @@ impl Explain {
             .nodes
             .iter()
             .map(|node| {
-                let sub: Pattern = node
+                // Trace patterns are printed from real Patterns, so they
+                // re-parse; fall back to the actual count as the estimate
+                // if one somehow doesn't.
+                #[allow(clippy::cast_precision_loss)]
+                let estimated = node
                     .pattern
-                    .parse()
-                    .expect("trace patterns are printable and re-parsable");
+                    .parse::<Pattern>()
+                    .map_or(node.incidents.len() as f64, |sub| estimate(model, &sub));
                 ExplainRow {
                     pattern: node.pattern.clone(),
                     depth: node.depth,
-                    estimated: estimate(model, &sub),
+                    estimated,
                     actual: node.incidents.len(),
                     elapsed: node.elapsed,
                 }

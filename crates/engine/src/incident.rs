@@ -85,13 +85,14 @@ impl Incident {
     /// `first(o)`: the smallest is-lsn in the incident.
     #[must_use]
     pub fn first(&self) -> IsLsn {
-        *self.positions.first().expect("incidents are nonempty")
+        // Nonempty by construction (both constructors enforce it).
+        self.positions[0]
     }
 
     /// `last(o)`: the largest is-lsn in the incident.
     #[must_use]
     pub fn last(&self) -> IsLsn {
-        *self.positions.last().expect("incidents are nonempty")
+        self.positions[self.positions.len() - 1]
     }
 
     /// Number of log records in the incident.

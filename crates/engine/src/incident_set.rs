@@ -150,26 +150,28 @@ impl IncidentSet {
 pub(crate) fn merge_sorted(a: Vec<Incident>, b: Vec<Incident>) -> Vec<Incident> {
     let mut out = Vec::with_capacity(a.len() + b.len());
     let (mut xs, mut ys) = (a.into_iter().peekable(), b.into_iter().peekable());
-    loop {
-        match (xs.peek(), ys.peek()) {
-            (Some(x), Some(y)) => match x.cmp(y) {
-                std::cmp::Ordering::Less => out.push(xs.next().expect("peeked")),
-                std::cmp::Ordering::Greater => out.push(ys.next().expect("peeked")),
-                std::cmp::Ordering::Equal => {
-                    out.push(xs.next().expect("peeked"));
-                    ys.next();
+    while let (Some(x), Some(y)) = (xs.peek(), ys.peek()) {
+        match x.cmp(y) {
+            std::cmp::Ordering::Less => {
+                if let Some(x) = xs.next() {
+                    out.push(x);
                 }
-            },
-            (Some(_), None) => {
-                out.extend(xs);
-                break;
             }
-            (None, _) => {
-                out.extend(ys);
-                break;
+            std::cmp::Ordering::Greater => {
+                if let Some(y) = ys.next() {
+                    out.push(y);
+                }
+            }
+            std::cmp::Ordering::Equal => {
+                if let Some(x) = xs.next() {
+                    out.push(x);
+                }
+                ys.next();
             }
         }
     }
+    out.extend(xs);
+    out.extend(ys);
     out
 }
 

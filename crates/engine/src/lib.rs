@@ -29,8 +29,8 @@
 //!
 //! let log = paper::figure3_log();
 //! let anomalies = Query::parse("UpdateRefer -> GetReimburse")?;
-//! assert_eq!(anomalies.count(&log), 1); // instance 2 misbehaves
-//! # Ok::<(), wlq_pattern::ParsePatternError>(())
+//! assert_eq!(anomalies.count(&log)?, 1); // instance 2 misbehaves
+//! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
 #![warn(missing_docs)]
@@ -39,6 +39,7 @@
 mod bindings;
 mod bounded_equiv;
 mod counting;
+mod error;
 mod eval;
 mod explain;
 mod incident;
@@ -61,6 +62,7 @@ pub use batch::{BatchArena, IncidentBatch, IncidentRef};
 pub use bindings::{BoundIncident, LabelledPattern};
 pub use bounded_equiv::{equivalent_up_to, BoundedEquiv};
 pub use counting::fast_count;
+pub use error::EngineError;
 pub use eval::{combine, leaf_batch, leaf_incidents, Evaluator, Strategy};
 pub use explain::{Explain, ExplainRow};
 pub use incident::Incident;

@@ -69,8 +69,9 @@ pub fn mine_relations(log: &Log, min_support: usize) -> Vec<MinedRelation> {
                     continue;
                 }
                 let consecutive = pa.iter().any(|&x| pb.binary_search(&x.next()).is_ok());
-                // ∃ x ∈ pa, y ∈ pb with x < y ⇔ min(pa) < max(pb).
-                let sequential = pa[0] < *pb.last().expect("nonempty");
+                // ∃ x ∈ pa, y ∈ pb with x < y ⇔ min(pa) < max(pb);
+                // pb is nonempty (checked above), so indexing is safe.
+                let sequential = pa[0] < pb[pb.len() - 1];
                 // Parallel: both executed with at least one record each,
                 // sharing none — for distinct activities this just means
                 // both occur; for a == b it needs two executions.

@@ -5,6 +5,10 @@
 //! over `widSet` sequentially). [`evaluate_parallel`] distributes the
 //! instances over worker threads with [`crossbeam`] scoped threads and a
 //! shared atomic work queue, then merges the per-instance results.
+//!
+//! The entry points are panic-free: a zero worker count is reported as
+//! [`EngineError::NoWorkers`], and a panicking worker is contained at the
+//! thread boundary and surfaced as [`EngineError::WorkerPanicked`].
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -12,9 +16,21 @@ use wlq_log::{Log, Wid};
 use wlq_pattern::Pattern;
 
 use crate::batch::BatchArena;
+use crate::error::EngineError;
 use crate::eval::{Evaluator, Strategy};
 use crate::incident::Incident;
 use crate::incident_set::IncidentSet;
+
+/// Renders a worker panic payload for [`EngineError::WorkerPanicked`].
+fn describe_panic(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
 
 /// Evaluates `pattern` over `log` using up to `num_threads` workers.
 ///
@@ -22,9 +38,10 @@ use crate::incident_set::IncidentSet;
 /// [`Evaluator::evaluate`]; instances are claimed from a shared queue so
 /// skewed instance sizes still balance.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `num_threads` is 0 or if a worker thread panics.
+/// Returns [`EngineError::NoWorkers`] if `num_threads` is 0 and
+/// [`EngineError::WorkerPanicked`] if a worker thread panics.
 ///
 /// # Examples
 ///
@@ -34,17 +51,17 @@ use crate::incident_set::IncidentSet;
 /// use wlq_pattern::Pattern;
 ///
 /// let log = paper::figure3_log();
-/// let p: Pattern = "SeeDoctor -> PayTreatment".parse().unwrap();
-/// let par = evaluate_parallel(&log, &p, 4, Strategy::Optimized);
+/// let p: Pattern = "SeeDoctor -> PayTreatment".parse()?;
+/// let par = evaluate_parallel(&log, &p, 4, Strategy::Optimized)?;
 /// assert_eq!(par, Evaluator::new(&log).evaluate(&p));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
-#[must_use]
 pub fn evaluate_parallel(
     log: &Log,
     pattern: &Pattern,
     num_threads: usize,
     strategy: Strategy,
-) -> IncidentSet {
+) -> Result<IncidentSet, EngineError> {
     Evaluator::with_strategy(log, strategy).evaluate_parallel(pattern, num_threads)
 }
 
@@ -54,56 +71,86 @@ impl Evaluator<'_> {
     /// threads. Reuses this evaluator's prebuilt index, so repeated
     /// parallel queries pay the indexing cost once.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `num_threads` is 0 or a worker panics.
-    #[must_use]
-    pub fn evaluate_parallel(&self, pattern: &Pattern, num_threads: usize) -> IncidentSet {
-        assert!(num_threads > 0, "need at least one worker thread");
+    /// Returns [`EngineError::NoWorkers`] if `num_threads` is 0 and
+    /// [`EngineError::WorkerPanicked`] if a worker thread panics.
+    pub fn evaluate_parallel(
+        &self,
+        pattern: &Pattern,
+        num_threads: usize,
+    ) -> Result<IncidentSet, EngineError> {
+        if num_threads == 0 {
+            return Err(EngineError::NoWorkers);
+        }
         let wids: Vec<Wid> = self.index().wids().collect();
         if num_threads == 1 || wids.len() <= 1 {
-            return self.evaluate(pattern);
+            return Ok(self.evaluate(pattern));
         }
+
+        // One entry per worker: the (wid, incidents) pairs it swept.
+        type WorkerParts = Vec<Vec<(Wid, Vec<Incident>)>>;
 
         let next = AtomicUsize::new(0);
         let workers = num_threads.min(wids.len());
-        let results: Vec<Vec<(Wid, Vec<Incident>)>> = crossbeam::thread::scope(|scope| {
-            let handles: Vec<_> = (0..workers)
-                .map(|_| {
-                    let wids = &wids;
-                    let next = &next;
-                    scope.spawn(move |_| {
-                        let mut out = Vec::new();
-                        // Each worker owns its arena: batches for the
-                        // instances it sweeps recycle worker-locally,
-                        // with no cross-thread sharing.
-                        let mut arena = BatchArena::new();
-                        loop {
-                            let i = next.fetch_add(1, Ordering::Relaxed);
-                            let Some(&wid) = wids.get(i) else { break };
-                            let incidents = if self.strategy() == Strategy::Batch {
-                                let mut batch =
-                                    self.evaluate_instance_batch_in(pattern, wid, &mut arena);
-                                let incidents = batch.drain_incidents();
-                                arena.recycle(batch);
-                                incidents
-                            } else {
-                                self.evaluate_instance(pattern, wid)
-                            };
-                            out.push((wid, incidents));
-                        }
-                        out
+        let scope_result: std::thread::Result<Result<WorkerParts, EngineError>> =
+            crossbeam::thread::scope(|scope| {
+                let handles: Vec<_> = (0..workers)
+                    .map(|_| {
+                        let wids = &wids;
+                        let next = &next;
+                        scope.spawn(move |_| {
+                            let mut out = Vec::new();
+                            // Each worker owns its arena: batches for the
+                            // instances it sweeps recycle worker-locally,
+                            // with no cross-thread sharing.
+                            let mut arena = BatchArena::new();
+                            loop {
+                                let i = next.fetch_add(1, Ordering::Relaxed);
+                                let Some(&wid) = wids.get(i) else { break };
+                                let incidents = if self.strategy() == Strategy::Batch {
+                                    let mut batch =
+                                        self.evaluate_instance_batch_in(pattern, wid, &mut arena);
+                                    let incidents = batch.drain_incidents();
+                                    arena.recycle(batch);
+                                    incidents
+                                } else {
+                                    self.evaluate_instance(pattern, wid)
+                                };
+                                out.push((wid, incidents));
+                            }
+                            out
+                        })
                     })
+                    .collect();
+                // Joining every handle contains worker panics here rather
+                // than letting the scope re-raise them on the caller.
+                let mut parts = Vec::with_capacity(handles.len());
+                for handle in handles {
+                    match handle.join() {
+                        Ok(part) => parts.push(part),
+                        Err(payload) => {
+                            return Err(EngineError::WorkerPanicked {
+                                detail: describe_panic(payload.as_ref()),
+                            })
+                        }
+                    }
+                }
+                Ok(parts)
+            });
+        let results = match scope_result {
+            Ok(inner) => inner?,
+            // Real crossbeam reports unjoined child panics through the
+            // scope result; the std-backed shim never takes this path
+            // because every handle is joined above.
+            Err(payload) => {
+                return Err(EngineError::WorkerPanicked {
+                    detail: describe_panic(payload.as_ref()),
                 })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("worker thread panicked"))
-                .collect()
-        })
-        .expect("crossbeam scope panicked");
+            }
+        };
 
-        IncidentSet::from_partitions(results.into_iter().flatten())
+        Ok(IncidentSet::from_partitions(results.into_iter().flatten()))
     }
 }
 
@@ -150,7 +197,7 @@ mod tests {
             ] {
                 let p = parse(src);
                 assert_eq!(
-                    evaluate_parallel(&log, &p, threads, Strategy::Optimized),
+                    evaluate_parallel(&log, &p, threads, Strategy::Optimized).unwrap(),
                     reference.evaluate(&p),
                     "threads={threads} pattern={src}"
                 );
@@ -166,7 +213,7 @@ mod tests {
             let p = parse(src);
             for threads in [2, 4] {
                 assert_eq!(
-                    evaluate_parallel(&log, &p, threads, Strategy::Optimized),
+                    evaluate_parallel(&log, &p, threads, Strategy::Optimized).unwrap(),
                     reference.evaluate(&p),
                     "threads={threads} pattern={src}"
                 );
@@ -178,9 +225,15 @@ mod tests {
     fn all_strategies_work_under_parallelism() {
         let log = many_instances(16);
         let p = parse("A -> (B & C)");
-        let naive = evaluate_parallel(&log, &p, 4, Strategy::NaivePaper);
-        assert_eq!(naive, evaluate_parallel(&log, &p, 4, Strategy::Optimized));
-        assert_eq!(naive, evaluate_parallel(&log, &p, 4, Strategy::Batch));
+        let naive = evaluate_parallel(&log, &p, 4, Strategy::NaivePaper).unwrap();
+        assert_eq!(
+            naive,
+            evaluate_parallel(&log, &p, 4, Strategy::Optimized).unwrap()
+        );
+        assert_eq!(
+            naive,
+            evaluate_parallel(&log, &p, 4, Strategy::Batch).unwrap()
+        );
     }
 
     #[test]
@@ -191,7 +244,7 @@ mod tests {
             let p = parse(src);
             for threads in [2, 5] {
                 assert_eq!(
-                    evaluate_parallel(&log, &p, threads, Strategy::Batch),
+                    evaluate_parallel(&log, &p, threads, Strategy::Batch).unwrap(),
                     reference.evaluate(&p),
                     "threads={threads} pattern={src}"
                 );
@@ -203,14 +256,21 @@ mod tests {
     fn more_threads_than_instances_is_fine() {
         let log = paper::figure3_log(); // 3 instances
         let p = parse("GetRefer");
-        let set = evaluate_parallel(&log, &p, 64, Strategy::Optimized);
+        let set = evaluate_parallel(&log, &p, 64, Strategy::Optimized).unwrap();
         assert_eq!(set.len(), 3);
     }
 
     #[test]
-    #[should_panic(expected = "at least one worker")]
-    fn zero_threads_panics() {
+    fn zero_threads_is_a_typed_error_not_a_panic() {
         let log = paper::figure3_log();
-        let _ = evaluate_parallel(&log, &parse("A"), 0, Strategy::Optimized);
+        let err = evaluate_parallel(&log, &parse("A"), 0, Strategy::Optimized).unwrap_err();
+        assert_eq!(err, EngineError::NoWorkers);
+    }
+
+    #[test]
+    fn panic_payloads_render_for_str_and_string() {
+        assert_eq!(describe_panic(&"boom"), "boom");
+        assert_eq!(describe_panic(&String::from("kaboom")), "kaboom");
+        assert_eq!(describe_panic(&42usize), "non-string panic payload");
     }
 }

@@ -6,11 +6,17 @@ use std::time::Duration;
 use wlq_log::{Log, LogStats, Value, Wid};
 use wlq_pattern::{Optimizer, ParsePatternError, Pattern};
 
+use crate::error::EngineError;
 use crate::eval::{Evaluator, Strategy};
 use crate::incident_set::IncidentSet;
 use crate::parallel::evaluate_parallel;
 
 /// A reusable incident-pattern query with evaluation options.
+///
+/// Evaluation entry points return `Result<_, EngineError>`: with the
+/// default configuration they always succeed, but a misconfigured thread
+/// count or a worker panic surfaces as a typed [`EngineError`] instead of
+/// aborting the caller.
 ///
 /// # Examples
 ///
@@ -20,9 +26,9 @@ use crate::parallel::evaluate_parallel;
 ///
 /// let log = paper::figure3_log();
 /// let q = Query::parse("UpdateRefer -> GetReimburse")?;
-/// assert!(q.exists(&log));
-/// assert_eq!(q.count(&log), 1);
-/// # Ok::<(), wlq_pattern::ParsePatternError>(())
+/// assert!(q.exists(&log)?);
+/// assert_eq!(q.count(&log)?, 1);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 #[derive(Debug, Clone)]
 pub struct Query {
@@ -70,12 +76,10 @@ impl Query {
 
     /// Sets the number of worker threads for evaluation (default 1).
     ///
-    /// # Panics
-    ///
-    /// Panics if `threads` is 0.
+    /// The value is not validated here: evaluation methods report a zero
+    /// thread count as [`EngineError::NoWorkers`] when they run.
     #[must_use]
     pub fn threads(mut self, threads: usize) -> Self {
-        assert!(threads > 0, "need at least one thread");
         self.threads = threads;
         self
     }
@@ -103,13 +107,21 @@ impl Query {
     }
 
     /// Evaluates the query, returning all incidents.
-    #[must_use]
-    pub fn find(&self, log: &Log) -> IncidentSet {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::NoWorkers`] if the configured thread count
+    /// is 0 and [`EngineError::WorkerPanicked`] if a parallel worker
+    /// panics.
+    pub fn find(&self, log: &Log) -> Result<IncidentSet, EngineError> {
+        if self.threads == 0 {
+            return Err(EngineError::NoWorkers);
+        }
         let plan = self.plan(log);
         if self.threads > 1 {
             evaluate_parallel(log, &plan, self.threads, self.strategy)
         } else {
-            Evaluator::with_strategy(log, self.strategy).evaluate(&plan)
+            Ok(Evaluator::with_strategy(log, self.strategy).evaluate(&plan))
         }
     }
 
@@ -117,13 +129,19 @@ impl Query {
     ///
     /// Chain plans use the enumeration-free counting DP; other shapes use
     /// per-instance evaluation with early exit.
-    #[must_use]
-    pub fn exists(&self, log: &Log) -> bool {
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`find`](Self::find).
+    pub fn exists(&self, log: &Log) -> Result<bool, EngineError> {
+        if self.threads == 0 {
+            return Err(EngineError::NoWorkers);
+        }
         let plan = self.plan(log);
         if let Some(count) = crate::counting::fast_count(log, &plan) {
-            return count > 0;
+            return Ok(count > 0);
         }
-        Evaluator::with_strategy(log, self.strategy).exists(&plan)
+        Ok(Evaluator::with_strategy(log, self.strategy).exists(&plan))
     }
 
     /// The number of incidents, `|incL(p)|`.
@@ -132,20 +150,29 @@ impl Query {
     /// atoms, the count is computed by the enumeration-free dynamic
     /// program of [`fast_count`](crate::fast_count) in `O(m·k)`; other
     /// shapes fall back to full evaluation.
-    #[must_use]
-    pub fn count(&self, log: &Log) -> usize {
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`find`](Self::find).
+    pub fn count(&self, log: &Log) -> Result<usize, EngineError> {
+        if self.threads == 0 {
+            return Err(EngineError::NoWorkers);
+        }
         let plan = self.plan(log);
         if let Some(count) = crate::counting::fast_count(log, &plan) {
-            return count;
+            return Ok(count);
         }
-        self.find(log).len()
+        Ok(self.find(log)?.len())
     }
 
     /// Incident counts per workflow instance (instances with none are
     /// omitted).
-    #[must_use]
-    pub fn count_by_instance(&self, log: &Log) -> BTreeMap<Wid, usize> {
-        self.find(log).counts_by_wid()
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`find`](Self::find).
+    pub fn count_by_instance(&self, log: &Log) -> Result<BTreeMap<Wid, usize>, EngineError> {
+        Ok(self.find(log)?.counts_by_wid())
     }
 
     /// Counts *matching instances* grouped by the value of `attr` at each
@@ -158,9 +185,16 @@ impl Query {
     /// there fall back to scanning the instance's earlier records for the
     /// latest write to `attr`, and group under [`Value::Undefined`] if no
     /// record defines it.
-    #[must_use]
-    pub fn count_instances_by_attr(&self, log: &Log, attr: &str) -> BTreeMap<Value, usize> {
-        let incidents = self.find(log);
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`find`](Self::find).
+    pub fn count_instances_by_attr(
+        &self,
+        log: &Log,
+        attr: &str,
+    ) -> Result<BTreeMap<Value, usize>, EngineError> {
+        let incidents = self.find(log)?;
         let mut out: BTreeMap<Value, usize> = BTreeMap::new();
         for wid in incidents.wids() {
             let first_incident = &incidents.for_wid(wid)[0];
@@ -168,29 +202,35 @@ impl Query {
             let value = attr_value_at(log, wid, position, attr);
             *out.entry(value).or_insert(0) += 1;
         }
-        out
+        Ok(out)
     }
 
     /// Runs the query and reports timing plus plan information.
-    #[must_use]
-    pub fn profile(&self, log: &Log) -> QueryProfile {
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`find`](Self::find).
+    pub fn profile(&self, log: &Log) -> Result<QueryProfile, EngineError> {
+        if self.threads == 0 {
+            return Err(EngineError::NoWorkers);
+        }
         let start = std::time::Instant::now();
         let plan = self.plan(log);
         let plan_time = start.elapsed();
         let start = std::time::Instant::now();
         let incidents = if self.threads > 1 {
-            evaluate_parallel(log, &plan, self.threads, self.strategy)
+            evaluate_parallel(log, &plan, self.threads, self.strategy)?
         } else {
             Evaluator::with_strategy(log, self.strategy).evaluate(&plan)
         };
         let eval_time = start.elapsed();
-        QueryProfile {
+        Ok(QueryProfile {
             pattern: self.pattern.to_string(),
             plan: plan.to_string(),
             incidents,
             plan_time,
             eval_time,
-        }
+        })
     }
 }
 
@@ -255,7 +295,7 @@ mod tests {
     fn parse_and_count_on_figure3() {
         let log = paper::figure3_log();
         let q = Query::parse("SeeDoctor ~> PayTreatment").unwrap();
-        assert_eq!(q.count(&log), 3);
+        assert_eq!(q.count(&log).unwrap(), 3);
         assert!(Query::parse("A -> ").is_err());
     }
 
@@ -267,8 +307,16 @@ mod tests {
             "(GetRefer -> CheckIn) | (GetRefer -> SeeDoctor)",
             "SeeDoctor & PayTreatment & UpdateRefer",
         ] {
-            let with = Query::parse(src).unwrap().optimize(true).find(&log);
-            let without = Query::parse(src).unwrap().optimize(false).find(&log);
+            let with = Query::parse(src)
+                .unwrap()
+                .optimize(true)
+                .find(&log)
+                .unwrap();
+            let without = Query::parse(src)
+                .unwrap()
+                .optimize(false)
+                .find(&log)
+                .unwrap();
             assert_eq!(with, without, "optimize changed results of {src}");
         }
     }
@@ -277,11 +325,16 @@ mod tests {
     fn strategies_and_threads_agree() {
         let log = paper::figure3_log();
         let q = Query::parse("GetRefer -> (SeeDoctor & PayTreatment)").unwrap();
-        let a = q.clone().strategy(Strategy::NaivePaper).find(&log);
-        let b = q.clone().strategy(Strategy::Optimized).find(&log);
-        let c = q.clone().threads(4).find(&log);
-        let d = q.clone().strategy(Strategy::Batch).find(&log);
-        let e = q.clone().strategy(Strategy::Batch).threads(4).find(&log);
+        let a = q.clone().strategy(Strategy::NaivePaper).find(&log).unwrap();
+        let b = q.clone().strategy(Strategy::Optimized).find(&log).unwrap();
+        let c = q.clone().threads(4).find(&log).unwrap();
+        let d = q.clone().strategy(Strategy::Batch).find(&log).unwrap();
+        let e = q
+            .clone()
+            .strategy(Strategy::Batch)
+            .threads(4)
+            .find(&log)
+            .unwrap();
         assert_eq!(a, b);
         assert_eq!(b, c);
         assert_eq!(b, d);
@@ -292,7 +345,7 @@ mod tests {
     fn count_by_instance_reports_wid2_anomaly() {
         let log = paper::figure3_log();
         let q = Query::parse("UpdateRefer -> GetReimburse").unwrap();
-        let counts = q.count_by_instance(&log);
+        let counts = q.count_by_instance(&log).unwrap();
         assert_eq!(counts.len(), 1);
         assert_eq!(counts[&Wid(2)], 1);
     }
@@ -302,7 +355,7 @@ mod tests {
         let log = paper::figure3_log();
         // Which hospitals do referrals come from (per instance)?
         let q = Query::parse("GetRefer").unwrap();
-        let groups = q.count_instances_by_attr(&log, "hospital");
+        let groups = q.count_instances_by_attr(&log, "hospital").unwrap();
         assert_eq!(groups[&Value::from("Public Hospital")], 2);
         assert_eq!(groups[&Value::from("People Hospital")], 1);
     }
@@ -314,7 +367,7 @@ mod tests {
         // wid1 reimburses with balance written at GetRefer (1000), wid2
         // after the update (5000).
         let q = Query::parse("GetReimburse").unwrap();
-        let groups = q.count_instances_by_attr(&log, "balance");
+        let groups = q.count_instances_by_attr(&log, "balance").unwrap();
         // The GetReimburse record itself writes balance=0 — the *latest
         // write at or before* the record is its own output.
         assert_eq!(groups[&Value::Int(0)], 2);
@@ -324,7 +377,7 @@ mod tests {
     fn group_by_missing_attribute_is_undefined() {
         let log = paper::figure3_log();
         let q = Query::parse("START").unwrap();
-        let groups = q.count_instances_by_attr(&log, "nonexistent");
+        let groups = q.count_instances_by_attr(&log, "nonexistent").unwrap();
         assert_eq!(groups[&Value::Undefined], 3);
     }
 
@@ -332,7 +385,7 @@ mod tests {
     fn profile_reports_plan_and_counts() {
         let log = paper::figure3_log();
         let q = Query::parse("UpdateRefer -> GetReimburse").unwrap();
-        let profile = q.profile(&log);
+        let profile = q.profile(&log).unwrap();
         assert_eq!(profile.incidents.len(), 1);
         let text = profile.to_string();
         assert!(text.contains("UpdateRefer -> GetReimburse"));
@@ -340,8 +393,20 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "at least one thread")]
-    fn zero_threads_is_rejected() {
-        let _ = Query::new(Pattern::atom("A")).threads(0);
+    fn zero_threads_is_a_typed_error_everywhere() {
+        let log = paper::figure3_log();
+        let q = Query::new(Pattern::atom("A")).threads(0);
+        assert_eq!(q.find(&log).unwrap_err(), crate::EngineError::NoWorkers);
+        assert_eq!(q.count(&log).unwrap_err(), crate::EngineError::NoWorkers);
+        assert_eq!(q.exists(&log).unwrap_err(), crate::EngineError::NoWorkers);
+        assert_eq!(q.profile(&log).unwrap_err(), crate::EngineError::NoWorkers);
+        assert_eq!(
+            q.count_by_instance(&log).unwrap_err(),
+            crate::EngineError::NoWorkers
+        );
+        assert_eq!(
+            q.count_instances_by_attr(&log, "x").unwrap_err(),
+            crate::EngineError::NoWorkers
+        );
     }
 }

@@ -23,9 +23,9 @@ impl Incident {
     pub fn records<'a>(&self, log: &'a Log) -> Vec<&'a LogRecord> {
         self.positions()
             .iter()
-            .map(|&p| {
-                log.record(self.wid(), p)
-                    .expect("incident coordinates resolve in their log")
+            .map(|&p| match log.record(self.wid(), p) {
+                Some(record) => record,
+                None => panic!("incident coordinate {p}@wid{} not in this log", self.wid()),
             })
             .collect()
     }
@@ -59,7 +59,10 @@ impl Incident {
 /// use wlq_log::paper;
 ///
 /// let log = paper::figure3_log();
-/// let set = Query::parse("UpdateRefer -> GetReimburse").unwrap().find(&log);
+/// let set = Query::parse("UpdateRefer -> GetReimburse")
+///     .unwrap()
+///     .find(&log)
+///     .unwrap();
 /// let o = set.iter().next().unwrap();
 /// assert_eq!(o.display_in(&log).to_string(), "{l14, l20}");
 /// ```

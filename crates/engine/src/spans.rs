@@ -7,6 +7,7 @@
 
 use wlq_log::Log;
 
+use crate::error::EngineError;
 use crate::incident_set::IncidentSet;
 use crate::query::Query;
 
@@ -61,11 +62,14 @@ impl std::fmt::Display for SpanStats {
 }
 
 impl Query {
-    /// Runs the query and summarises the spans of its incidents; `None`
-    /// when nothing matches.
-    #[must_use]
-    pub fn span_stats(&self, log: &Log) -> Option<SpanStats> {
-        SpanStats::compute(&self.find(log))
+    /// Runs the query and summarises the spans of its incidents;
+    /// `Ok(None)` when nothing matches.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`find`](Self::find).
+    pub fn span_stats(&self, log: &Log) -> Result<Option<SpanStats>, EngineError> {
+        Ok(SpanStats::compute(&self.find(log)?))
     }
 
     /// Returns up to `limit` incidents, stopping evaluation as soon as the
@@ -102,7 +106,7 @@ mod tests {
     fn span_stats_of_the_anomaly_query() {
         let log = paper::figure3_log();
         let q = Query::parse("UpdateRefer -> GetReimburse").unwrap();
-        let stats = q.span_stats(&log).unwrap();
+        let stats = q.span_stats(&log).unwrap().unwrap();
         // {l14, l20} = is-lsns 5 and 9 → span 4.
         assert_eq!(stats.count, 1);
         assert_eq!(stats.min, 4);
@@ -115,13 +119,17 @@ mod tests {
     fn span_stats_none_when_no_match() {
         let log = paper::figure3_log();
         let q = Query::parse("Nope").unwrap();
-        assert!(q.span_stats(&log).is_none());
+        assert!(q.span_stats(&log).unwrap().is_none());
     }
 
     #[test]
     fn atomic_incidents_have_zero_span() {
         let log = paper::figure3_log();
-        let stats = Query::parse("SeeDoctor").unwrap().span_stats(&log).unwrap();
+        let stats = Query::parse("SeeDoctor")
+            .unwrap()
+            .span_stats(&log)
+            .unwrap()
+            .unwrap();
         assert_eq!(stats.count, 4);
         assert_eq!(stats.min, 0);
         assert_eq!(stats.max, 0);
@@ -134,6 +142,7 @@ mod tests {
         let stats = Query::parse("SeeDoctor ~> PayTreatment")
             .unwrap()
             .span_stats(&log)
+            .unwrap()
             .unwrap();
         assert_eq!(stats.count, 3);
         assert_eq!((stats.min, stats.median, stats.max), (1, 1, 1));
@@ -145,7 +154,7 @@ mod tests {
     fn find_first_respects_the_limit_and_is_a_subset() {
         let log = paper::figure3_log();
         let q = Query::parse("SeeDoctor").unwrap();
-        let all = q.find(&log);
+        let all = q.find(&log).unwrap();
         for limit in 0..=5 {
             let some = q.find_first(&log, limit);
             assert!(some.len() <= limit);

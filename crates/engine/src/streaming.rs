@@ -21,6 +21,7 @@ use parking_lot::Mutex;
 use wlq_log::{IsLsn, LogError, LogRecord, Wid};
 use wlq_pattern::{Atom, Op, Pattern};
 
+use crate::error::EngineError;
 use crate::eval::{combine, Strategy};
 use crate::incident::Incident;
 use crate::incident_set::{merge_sorted, IncidentSet};
@@ -209,16 +210,17 @@ impl StreamingEvaluator {
     ///
     /// # Errors
     ///
-    /// Returns a [`LogError`] if the record violates the per-instance
-    /// ordering invariants of Definition 2 (non-consecutive `is-lsn`,
-    /// record after `END`, or a non-`START` first record).
-    pub fn append(&mut self, record: &LogRecord) -> Result<Vec<Incident>, LogError> {
+    /// Returns [`EngineError::InvalidLog`] if the record violates the
+    /// per-instance ordering invariants of Definition 2 (non-consecutive
+    /// `is-lsn`, record after `END`, or a non-`START` first record).
+    pub fn append(&mut self, record: &LogRecord) -> Result<Vec<Incident>, EngineError> {
         let wid = record.wid();
         if self.closed.get(&wid).copied().unwrap_or(false) {
             return Err(LogError::RecordAfterEnd {
                 wid,
                 lsn: record.lsn(),
-            });
+            }
+            .into());
         }
         let expected = self.next_is_lsn.get(&wid).copied().unwrap_or(IsLsn::FIRST);
         if record.is_lsn() != expected {
@@ -226,13 +228,15 @@ impl StreamingEvaluator {
                 wid,
                 expected,
                 found: record.is_lsn(),
-            });
+            }
+            .into());
         }
         if (record.is_lsn() == IsLsn::FIRST) != record.is_start() {
             return Err(LogError::StartMismatch {
                 lsn: record.lsn(),
                 wid,
-            });
+            }
+            .into());
         }
         self.next_is_lsn.insert(wid, expected.next());
         if record.is_end() {
@@ -276,8 +280,8 @@ impl SharedStreamingEvaluator {
     ///
     /// # Errors
     ///
-    /// Propagates the wrapped evaluator's [`LogError`]s.
-    pub fn append(&self, record: &LogRecord) -> Result<Vec<Incident>, LogError> {
+    /// Propagates the wrapped evaluator's [`EngineError`]s.
+    pub fn append(&self, record: &LogRecord) -> Result<Vec<Incident>, EngineError> {
         self.inner.lock().append(record)
     }
 
@@ -389,7 +393,10 @@ mod tests {
         let mut stream = StreamingEvaluator::new(parse("A"));
         // Skipping the START record of wid 1 violates is-lsn continuity.
         let err = stream.append(&log.records()[2]).unwrap_err();
-        assert!(matches!(err, LogError::NonConsecutiveIsLsn { .. }));
+        assert!(matches!(
+            err,
+            EngineError::InvalidLog(LogError::NonConsecutiveIsLsn { .. })
+        ));
     }
 
     #[test]
@@ -408,7 +415,7 @@ mod tests {
         );
         assert!(matches!(
             stream.append(&extra).unwrap_err(),
-            LogError::RecordAfterEnd { .. }
+            EngineError::InvalidLog(LogError::RecordAfterEnd { .. })
         ));
     }
 
@@ -426,7 +433,7 @@ mod tests {
         );
         assert!(matches!(
             stream.append(&bad).unwrap_err(),
-            LogError::StartMismatch { .. }
+            EngineError::InvalidLog(LogError::StartMismatch { .. })
         ));
     }
 

@@ -7,6 +7,7 @@
 use wlq_log::{Log, Lsn};
 use wlq_pattern::Pattern;
 
+use crate::error::EngineError;
 use crate::streaming::StreamingEvaluator;
 
 /// One sample of a timeline: after the record with sequence number `lsn`,
@@ -27,9 +28,12 @@ pub struct TimelinePoint {
 /// Equivalent to evaluating the pattern on every sampled
 /// [`prefix`](wlq_log::Log::prefix), in `O(log replay)` total.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `step` is 0.
+/// Returns [`EngineError::ZeroStep`] if `step` is 0, and
+/// [`EngineError::InvalidLog`] if the log's records do not replay as a
+/// valid Definition 2 stream (impossible for a [`Log`] built through the
+/// validating constructors).
 ///
 /// # Examples
 ///
@@ -41,24 +45,27 @@ pub struct TimelinePoint {
 ///     &paper::figure3_log(),
 ///     &"UpdateRefer -> GetReimburse".parse().unwrap(),
 ///     5,
-/// );
+/// )?;
 /// // The anomaly completes only with l20.
 /// assert_eq!(points.last().unwrap().incidents, 1);
 /// assert_eq!(points[points.len() - 2].incidents, 0);
+/// # Ok::<(), wlq_engine::EngineError>(())
 /// ```
-#[must_use]
-pub fn timeline(log: &Log, pattern: &Pattern, step: usize) -> Vec<TimelinePoint> {
-    assert!(step > 0, "step must be positive");
+pub fn timeline(
+    log: &Log,
+    pattern: &Pattern,
+    step: usize,
+) -> Result<Vec<TimelinePoint>, EngineError> {
+    if step == 0 {
+        return Err(EngineError::ZeroStep);
+    }
     let mut stream = StreamingEvaluator::new(pattern.clone());
     let mut points = Vec::new();
     let mut total = 0usize;
     let mut since_sample = 0usize;
     let len = log.len();
     for (i, record) in log.iter().enumerate() {
-        let fresh = stream
-            .append(record)
-            .expect("valid logs replay cleanly")
-            .len();
+        let fresh = stream.append(record)?.len();
         total += fresh;
         since_sample += fresh;
         let at_step = (i + 1) % step == 0;
@@ -72,7 +79,7 @@ pub fn timeline(log: &Log, pattern: &Pattern, step: usize) -> Vec<TimelinePoint>
             since_sample = 0;
         }
     }
-    points
+    Ok(points)
 }
 
 #[cfg(test)]
@@ -88,7 +95,7 @@ mod tests {
     #[test]
     fn samples_fall_on_steps_and_the_end() {
         let log = paper::figure3_log();
-        let points = timeline(&log, &parse("SeeDoctor"), 6);
+        let points = timeline(&log, &parse("SeeDoctor"), 6).unwrap();
         let lsns: Vec<u64> = points.iter().map(|p| p.lsn.get()).collect();
         assert_eq!(lsns, vec![6, 12, 18, 20]);
     }
@@ -96,7 +103,7 @@ mod tests {
     #[test]
     fn counts_are_cumulative_and_deltas_partition() {
         let log = paper::figure3_log();
-        let points = timeline(&log, &parse("SeeDoctor"), 5);
+        let points = timeline(&log, &parse("SeeDoctor"), 5).unwrap();
         // SeeDoctor at lsn 9, 11, 13, 17; samples at lsn 5, 10, 15, 20.
         let counts: Vec<usize> = points.iter().map(|p| p.incidents).collect();
         assert_eq!(counts, vec![0, 1, 3, 4]);
@@ -113,7 +120,7 @@ mod tests {
         let log = paper::figure3_log();
         for src in ["GetRefer ~> CheckIn", "SeeDoctor & PayTreatment", "!START"] {
             let p = parse(src);
-            let points = timeline(&log, &p, 7);
+            let points = timeline(&log, &p, 7).unwrap();
             assert_eq!(
                 points.last().unwrap().incidents,
                 Evaluator::new(&log).count(&p),
@@ -126,7 +133,7 @@ mod tests {
     fn each_sample_matches_prefix_evaluation() {
         let log = paper::figure3_log();
         let p = parse("SeeDoctor -> PayTreatment");
-        for point in timeline(&log, &p, 4) {
+        for point in timeline(&log, &p, 4).unwrap() {
             let prefix = log.prefix(point.lsn).unwrap();
             assert_eq!(
                 point.incidents,
@@ -140,15 +147,15 @@ mod tests {
     #[test]
     fn step_larger_than_log_samples_once() {
         let log = paper::figure3_log();
-        let points = timeline(&log, &parse("START"), 1000);
+        let points = timeline(&log, &parse("START"), 1000).unwrap();
         assert_eq!(points.len(), 1);
         assert_eq!(points[0].lsn, wlq_log::Lsn(20));
         assert_eq!(points[0].incidents, 3);
     }
 
     #[test]
-    #[should_panic(expected = "step must be positive")]
-    fn zero_step_panics() {
-        let _ = timeline(&paper::figure3_log(), &parse("A"), 0);
+    fn zero_step_is_a_typed_error() {
+        let err = timeline(&paper::figure3_log(), &parse("A"), 0).unwrap_err();
+        assert_eq!(err, EngineError::ZeroStep);
     }
 }

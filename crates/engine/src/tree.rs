@@ -93,7 +93,7 @@ impl EvalTrace {
     /// produced from a pattern.
     #[must_use]
     pub fn root(&self) -> &NodeTrace {
-        self.nodes.last().expect("a tree has at least one node")
+        &self.nodes[self.nodes.len() - 1]
     }
 
     /// Total operator work time across all nodes.

@@ -1,0 +1,142 @@
+//! Differential evaluation: run one `(log, pattern)` pair under every
+//! strategy and report the first disagreement.
+
+use std::fmt;
+
+use wlq_engine::{
+    evaluate_parallel, fast_count, Evaluator, IncidentSet, Strategy, StreamingEvaluator,
+};
+use wlq_log::Log;
+use wlq_pattern::Pattern;
+
+/// A cross-strategy disagreement on one `(log, pattern)` pair.
+#[derive(Debug, Clone)]
+pub struct Divergence {
+    /// The strategy that disagreed with the naive reference.
+    pub strategy: String,
+    /// Incident count under the paper-faithful naive evaluation.
+    pub expected: usize,
+    /// Incident count (or error text) the diverging strategy produced.
+    pub got: String,
+}
+
+impl fmt::Display for Divergence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} diverged: naive found {} incident(s), got {}",
+            self.strategy, self.expected, self.got
+        )
+    }
+}
+
+fn against(reference: &IncidentSet, name: &str, got: &IncidentSet) -> Option<Divergence> {
+    if got == reference {
+        None
+    } else {
+        Some(Divergence {
+            strategy: name.to_string(),
+            expected: reference.len(),
+            got: format!("{} incident(s)", got.len()),
+        })
+    }
+}
+
+/// Evaluates `pattern` over `log` under every strategy and cross-checks
+/// the results against the paper-faithful naive evaluation. Returns the
+/// first divergence, or `None` when all strategies agree.
+///
+/// Strategies covered: `NaivePaper` (reference), `Optimized`, `Batch`,
+/// parallel evaluation with 1 and 4 workers, a full streaming replay,
+/// and — when the pattern is a chain — the `fast_count` DP.
+#[must_use]
+pub fn check(log: &Log, pattern: &Pattern) -> Option<Divergence> {
+    let reference = Evaluator::with_strategy(log, Strategy::NaivePaper).evaluate(pattern);
+
+    let optimized = Evaluator::with_strategy(log, Strategy::Optimized).evaluate(pattern);
+    if let Some(d) = against(&reference, "Optimized", &optimized) {
+        return Some(d);
+    }
+
+    let batch = Evaluator::with_strategy(log, Strategy::Batch).evaluate(pattern);
+    if let Some(d) = against(&reference, "Batch", &batch) {
+        return Some(d);
+    }
+
+    for threads in [1usize, 4] {
+        let name = format!("parallel({threads})");
+        match evaluate_parallel(log, pattern, threads, Strategy::Optimized) {
+            Ok(set) => {
+                if let Some(d) = against(&reference, &name, &set) {
+                    return Some(d);
+                }
+            }
+            Err(e) => {
+                return Some(Divergence {
+                    strategy: name,
+                    expected: reference.len(),
+                    got: format!("error: {e}"),
+                });
+            }
+        }
+    }
+
+    let mut stream = StreamingEvaluator::new(pattern.clone());
+    for record in log.iter() {
+        if let Err(e) = stream.append(record) {
+            return Some(Divergence {
+                strategy: "streaming-replay".to_string(),
+                expected: reference.len(),
+                got: format!("rejected valid record at lsn {}: {e}", record.lsn()),
+            });
+        }
+    }
+    if let Some(d) = against(&reference, "streaming-replay", &stream.incidents()) {
+        return Some(d);
+    }
+
+    if let Some(count) = fast_count(log, pattern) {
+        if count != reference.len() {
+            return Some(Divergence {
+                strategy: "fast_count".to_string(),
+                expected: reference.len(),
+                got: format!("{count} (count only)"),
+            });
+        }
+    }
+
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn figure3_battery_has_no_divergence() {
+        let log = wlq_log::paper::figure3_log();
+        for src in [
+            "SeeDoctor",
+            "UpdateRefer -> GetReimburse",
+            "GetRefer ~> CheckIn",
+            "!SeeDoctor ~> PayTreatment",
+            "(SeeDoctor & PayTreatment) | UpdateRefer",
+            "START ~> GetRefer",
+            "!GetRefer ~> END",
+        ] {
+            let p: Pattern = src.parse().unwrap();
+            assert!(check(&log, &p).is_none(), "diverged on {src}");
+        }
+    }
+
+    #[test]
+    fn random_smoke_runs_clean() {
+        let mut rng = StdRng::seed_from_u64(0xD1FF);
+        for _ in 0..25 {
+            let log = crate::gen::random_log(&mut rng);
+            let p = crate::gen::random_pattern_for(&mut rng, &log);
+            assert!(check(&log, &p).is_none(), "diverged on {p} over {log}");
+        }
+    }
+}

@@ -1,0 +1,108 @@
+//! Counterexample shrinking: reduce a diverging `(log, pattern)` pair to
+//! a minimal reproducer before it is persisted as a regression fixture.
+
+use wlq_log::{Log, Lsn};
+use wlq_pattern::Pattern;
+
+use crate::diff::check;
+
+/// `true` when the pair still reproduces *a* divergence (not necessarily
+/// the original one — any disagreement is a bug worth keeping).
+fn still_diverges(log: &Log, pattern: &Pattern) -> bool {
+    check(log, pattern).is_some()
+}
+
+fn try_drop_instances(log: &mut Log, pattern: &Pattern) -> bool {
+    let wids: Vec<_> = log.wids().collect();
+    if wids.len() <= 1 {
+        return false;
+    }
+    for wid in wids {
+        if log.num_instances() <= 1 {
+            break;
+        }
+        if let Ok(candidate) = log.filter_instances(|w| w != wid) {
+            if still_diverges(&candidate, pattern) {
+                *log = candidate;
+                return true;
+            }
+        }
+    }
+    false
+}
+
+fn try_truncate_tail(log: &mut Log, pattern: &Pattern) -> bool {
+    // Halving first, then single-record steps.
+    let len = log.len() as u64;
+    for upto in [len / 2, len - 1] {
+        if upto == 0 || upto >= len {
+            continue;
+        }
+        if let Ok(candidate) = log.prefix(Lsn(upto)) {
+            if still_diverges(&candidate, pattern) {
+                *log = candidate;
+                return true;
+            }
+        }
+    }
+    false
+}
+
+fn subtrees(pattern: &Pattern) -> Vec<&Pattern> {
+    match pattern {
+        Pattern::Atom(_) => Vec::new(),
+        Pattern::Binary { left, right, .. } => vec![left, right],
+    }
+}
+
+fn try_reduce_pattern(log: &Log, pattern: &mut Pattern) -> bool {
+    for sub in subtrees(pattern) {
+        if still_diverges(log, sub) {
+            *pattern = sub.clone();
+            return true;
+        }
+    }
+    false
+}
+
+/// Shrinks a diverging pair to a local minimum: no single instance can
+/// be dropped, no tail truncated, and no pattern subtree substituted
+/// while still reproducing a divergence. Returns the pair unchanged if
+/// it does not diverge in the first place.
+#[must_use]
+pub fn shrink(mut log: Log, mut pattern: Pattern) -> (Log, Pattern) {
+    if !still_diverges(&log, &pattern) {
+        return (log, pattern);
+    }
+    loop {
+        let changed = try_reduce_pattern(&log, &mut pattern)
+            || try_drop_instances(&mut log, &pattern)
+            || try_truncate_tail(&mut log, &pattern);
+        if !changed {
+            break;
+        }
+    }
+    (log, pattern)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn non_diverging_pairs_come_back_unchanged() {
+        let log = wlq_log::paper::figure3_log();
+        let p: Pattern = "SeeDoctor -> PayTreatment".parse().unwrap();
+        let (slog, spat) = shrink(log.clone(), p.clone());
+        assert_eq!(slog, log);
+        assert_eq!(spat, p);
+    }
+
+    #[test]
+    fn subtrees_of_binary_patterns_are_enumerable() {
+        let p: Pattern = "(A -> B) | C".parse().unwrap();
+        assert_eq!(subtrees(&p).len(), 2);
+        let a: Pattern = "A".parse().unwrap();
+        assert!(subtrees(&a).is_empty());
+    }
+}

@@ -1,0 +1,70 @@
+//! Replays every shrunk counterexample `wlq-difffuzz` has persisted
+//! under `fixtures/` and asserts the strategies now agree on it.
+//!
+//! Each fixture is a pair of files with a shared stem: `<stem>.log`
+//! (Figure 3-style text table) and `<stem>.pattern` (pattern source).
+//! The fuzzer writes a pair when it finds a divergence; the fix that
+//! closes the bug keeps the pair here as a permanent regression test.
+
+use std::path::Path;
+
+use wlq_fuzz::check;
+use wlq_pattern::Pattern;
+
+fn fixture_dir() -> &'static Path {
+    Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/fixtures"))
+}
+
+#[test]
+fn all_persisted_fixtures_agree_across_strategies() {
+    let dir = fixture_dir();
+    let mut replayed = 0usize;
+    let entries = match std::fs::read_dir(dir) {
+        Ok(entries) => entries,
+        // No fixture directory means no divergence has ever been found.
+        Err(_) => return,
+    };
+    for entry in entries {
+        let path = entry.expect("fixture dir is readable").path();
+        if path.extension().is_none_or(|e| e != "pattern") {
+            continue;
+        }
+        let stem = path
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .expect("fixture stems are utf-8");
+        let log_path = dir.join(format!("{stem}.log"));
+        let pattern_src = std::fs::read_to_string(&path).expect("fixture pattern file is readable");
+        let log_src = std::fs::read_to_string(&log_path)
+            .unwrap_or_else(|e| panic!("fixture {stem} has no .log counterpart: {e}"));
+        let pattern: Pattern = pattern_src
+            .trim()
+            .parse()
+            .unwrap_or_else(|e| panic!("fixture {stem} pattern does not parse: {e}"));
+        let log = wlq_log::io::text::read_text(&log_src)
+            .unwrap_or_else(|e| panic!("fixture {stem} log does not parse: {e}"));
+        if let Some(divergence) = check(&log, &pattern) {
+            panic!("fixture {stem} still diverges: {divergence}");
+        }
+        replayed += 1;
+    }
+    println!("replayed {replayed} fixture(s)");
+}
+
+/// The known-tricky boundary patterns stay divergence-free on the
+/// paper's example log (cheap, deterministic smoke alongside fixtures).
+#[test]
+fn boundary_battery_on_figure3() {
+    let log = wlq_log::paper::figure3_log();
+    for src in [
+        "!START",
+        "!END",
+        "START ~> !GetRefer",
+        "!PayTreatment ~> END",
+        "!SeeDoctor ~> !SeeDoctor",
+        "(START ~> GetRefer) -> (GetReimburse ~> CompleteRefer)",
+    ] {
+        let p: Pattern = src.parse().unwrap();
+        assert!(check(&log, &p).is_none(), "diverged on {src}");
+    }
+}

@@ -130,7 +130,7 @@ impl LogBuilder {
         let rec = LogRecord::new(lsn, wid, st.next_is_lsn, activity, input, output);
         st.next_is_lsn = st.next_is_lsn.next();
         self.records.push(rec);
-        Ok(self.records.last().expect("just pushed"))
+        Ok(&self.records[self.records.len() - 1])
     }
 
     /// Closes instance `wid` with an `END` record.

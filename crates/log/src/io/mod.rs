@@ -79,8 +79,12 @@ fn needs_quoting(s: &str) -> bool {
     if matches!(s, "NaN" | "-NaN" | "inf" | "-inf") {
         return true;
     }
-    // Would it re-parse as a non-string value?
-    let reparsed: Value = s.parse().expect("infallible");
+    // Would it re-parse as a non-string value? (Value's FromStr is
+    // infallible: Err = Infallible.)
+    let reparsed: Value = match s.parse() {
+        Ok(v) => v,
+        Err(never) => match never {},
+    };
     !matches!(reparsed, Value::Str(_))
 }
 
@@ -110,7 +114,10 @@ pub(crate) fn parse_rendered_value(s: &str) -> Value {
         }
         return Value::from(out);
     }
-    s.parse().expect("infallible")
+    match s.parse() {
+        Ok(v) => v,
+        Err(never) => match never {},
+    }
 }
 
 /// Renders an attribute map as `name=value` entries joined by `sep`

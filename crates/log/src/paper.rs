@@ -49,6 +49,15 @@ pub mod activities {
 /// ```
 #[must_use]
 pub fn figure3_log() -> Log {
+    match try_figure3_log() {
+        Ok(log) => log,
+        // Every append targets an instance that was started and never
+        // closed, so construction cannot fail.
+        Err(_) => unreachable!("figure 3 log is valid by construction"),
+    }
+}
+
+fn try_figure3_log() -> Result<Log, crate::error::LogError> {
     use activities::*;
 
     let mut b = LogBuilder::new();
@@ -65,16 +74,14 @@ pub fn figure3_log() -> Log {
             "hospital" => "Public Hospital", "referId" => "034d1",
             "referState" => "start", "balance" => 1000i64,
         },
-    )
-    .expect("w1 open");
+    )?;
     // lsn 4 — the record `l` of Example 1.
     b.append(
         w1,
         CHECK_IN,
         attrs! { "referId" => "034d1", "referState" => "start", "balance" => 1000i64 },
         attrs! { "referState" => "active" },
-    )
-    .expect("w1 open");
+    )?;
     // lsn 5
     b.append(
         w2,
@@ -84,8 +91,7 @@ pub fn figure3_log() -> Log {
             "hospital" => "People Hospital", "referId" => "022f3",
             "referState" => "start", "balance" => 2000i64,
         },
-    )
-    .expect("w2 open");
+    )?;
     // lsn 6
     let w3 = b.start_instance();
     assert_eq!(w3, Wid(3));
@@ -98,64 +104,56 @@ pub fn figure3_log() -> Log {
             "hospital" => "Public Hospital", "referId" => "048s1",
             "referState" => "start", "balance" => 500i64,
         },
-    )
-    .expect("w3 open");
+    )?;
     // lsn 8
     b.append(
         w2,
         CHECK_IN,
         attrs! { "referId" => "022f3", "referState" => "start", "balance" => 2000i64 },
         attrs! { "referState" => "active" },
-    )
-    .expect("w2 open");
+    )?;
     // lsn 9
     b.append(
         w1,
         SEE_DOCTOR,
         attrs! { "referId" => "034d1", "referState" => "active" },
         attrs! {},
-    )
-    .expect("w1 open");
+    )?;
     // lsn 10
     b.append(
         w1,
         PAY_TREATMENT,
         attrs! { "referId" => "034d1", "referState" => "active" },
         attrs! { "receipt1" => 560i64, "receipt1State" => "active" },
-    )
-    .expect("w1 open");
+    )?;
     // lsn 11
     b.append(
         w1,
         SEE_DOCTOR,
         attrs! { "referId" => "034d1", "referState" => "active" },
         attrs! {},
-    )
-    .expect("w1 open");
+    )?;
     // lsn 12
     b.append(
         w1,
         PAY_TREATMENT,
         attrs! { "referId" => "034d1", "referState" => "active" },
         attrs! { "receipt2" => 460i64, "receipt2State" => "active" },
-    )
-    .expect("w1 open");
+    )?;
     // lsn 13
     b.append(
         w2,
         SEE_DOCTOR,
         attrs! { "referId" => "022f3", "referState" => "active" },
         attrs! {},
-    )
-    .expect("w2 open");
+    )?;
     // lsn 14
     b.append(
         w2,
         UPDATE_REFER,
         attrs! { "referId" => "022f3", "referState" => "active", "balance" => 2000i64 },
         attrs! { "balance" => 5000i64 },
-    )
-    .expect("w2 open");
+    )?;
     // lsn 15
     b.append(
         w1,
@@ -169,40 +167,35 @@ pub fn figure3_log() -> Log {
             "amount" => 1020i64, "balance" => 0i64, "reimburse" => 1000i64,
             "receipt1State" => "complete", "receipt2State" => "complete",
         },
-    )
-    .expect("w1 open");
+    )?;
     // lsn 16
     b.append(
         w1,
         COMPLETE_REFER,
         attrs! { "referState" => "active", "balance" => 0i64 },
         attrs! { "referState" => "complete" },
-    )
-    .expect("w1 open");
+    )?;
     // lsn 17
     b.append(
         w2,
         SEE_DOCTOR,
         attrs! { "referId" => "022f3", "referState" => "active" },
         attrs! {},
-    )
-    .expect("w2 open");
+    )?;
     // lsn 18
     b.append(
         w2,
         PAY_TREATMENT,
         attrs! { "referId" => "022f3", "referState" => "active" },
         attrs! { "receipt1" => 4560i64, "receipt1State" => "active" },
-    )
-    .expect("w2 open");
+    )?;
     // lsn 19
     b.append(
         w2,
         TAKE_TREATMENT,
         attrs! { "referId" => "022f3", "receipt1" => 4560i64 },
         attrs! {},
-    )
-    .expect("w2 open");
+    )?;
     // lsn 20
     b.append(
         w2,
@@ -215,10 +208,9 @@ pub fn figure3_log() -> Log {
             "amount" => 6560i64, "balance" => 0i64, "reimburse" => 5000i64,
             "receipt1State" => "complete",
         },
-    )
-    .expect("w2 open");
+    )?;
 
-    b.build().expect("figure 3 log is valid by construction")
+    b.build()
 }
 
 #[cfg(test)]

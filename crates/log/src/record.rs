@@ -75,7 +75,8 @@ impl IsLsn {
     /// single workflow instance with more than 4 billion records.
     #[must_use]
     pub fn next(self) -> IsLsn {
-        IsLsn(self.0.checked_add(1).expect("is-lsn overflow"))
+        assert!(self.0 < u32::MAX, "is-lsn overflow");
+        IsLsn(self.0 + 1)
     }
 }
 

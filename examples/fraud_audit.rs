@@ -31,7 +31,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     )?;
     println!("rules:\n{}", rules.to_text());
 
-    let report = rules.audit(&log);
+    let report = rules.audit(&log)?;
     print!("{report}");
 
     let offenders = report.repeat_offenders(3);
@@ -51,7 +51,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             println!("  {record}");
         }
         let q = Query::parse("UpdateRefer -> GetReimburse")?;
-        let incidents = q.find(&sub);
+        let incidents = q.find(&sub)?;
         if !incidents.is_empty() {
             println!("  anomaly incidents: {}", incidents.display_in(&sub));
         }
@@ -59,12 +59,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Dollar-weighted view: group high-balance referrals by hospital.
     println!("\nhigh-balance (> $6000) referrals by hospital:");
-    for (hospital, count) in wlq::analyses::high_balance_referrals_by(&log, 6000, "hospital") {
+    for (hospital, count) in wlq::analyses::high_balance_referrals_by(&log, 6000, "hospital")? {
         println!("  {hospital:<18} {count}");
     }
 
     // Process-latency view: how many steps from update to reimbursement?
-    if let Some(stats) = Query::parse("UpdateRefer -> GetReimburse")?.span_stats(&log) {
+    if let Some(stats) = Query::parse("UpdateRefer -> GetReimburse")?.span_stats(&log)? {
         println!("\nupdate→reimburse spans: {stats}");
     }
     Ok(())

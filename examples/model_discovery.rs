@@ -66,7 +66,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // ── 3. When do appeals start appearing? ────────────────────────────
     let appeals: Pattern = "Reject -> Appeal".parse()?;
     println!("\nappeal timeline (cumulative incidents every 500 records):");
-    for point in timeline(&log, &appeals, 500) {
+    for point in timeline(&log, &appeals, 500)? {
         println!(
             "  up to lsn {:>5}: {:>4} (+{})",
             point.lsn, point.incidents, point.delta

@@ -27,10 +27,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Shipping and invoicing happen in parallel: the ⊕ pattern matches
     // regardless of interleaving order.
     let par = Query::parse("(PickItems -> Ship) & (CreateInvoice -> CollectPayment)")?;
-    println!("parallel ship/invoice incidents : {}", par.count(&orders));
+    println!("parallel ship/invoice incidents : {}", par.count(&orders)?);
     // Sequential would miss the interleavings where invoicing finished first:
     let seq = Query::parse("(PickItems -> Ship) -> (CreateInvoice -> CollectPayment)")?;
-    println!("strictly-sequenced incidents    : {}", seq.count(&orders));
+    println!("strictly-sequenced incidents    : {}", seq.count(&orders)?);
 
     // ── Loans: the choice structure. ───────────────────────────────────
     let loans = simulate(
@@ -46,15 +46,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let appealed = Query::parse("Reject -> Appeal -> ManualReview")?;
     println!(
         "approved & disbursed            : {} instances",
-        approved.count_by_instance(&loans).len()
+        approved.count_by_instance(&loans)?.len()
     );
     println!(
         "rejected at least once          : {} instances",
-        rejected.count_by_instance(&loans).len()
+        rejected.count_by_instance(&loans)?.len()
     );
     println!(
         "appealed after rejection        : {} instances",
-        appealed.count_by_instance(&loans).len()
+        appealed.count_by_instance(&loans)?.len()
     );
 
     // ── Optimizer at work. ─────────────────────────────────────────────

@@ -16,7 +16,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // "Are there any students who update their referral before they
     //  receive a reimbursement?"
     let q = Query::parse("UpdateRefer -> GetReimburse")?;
-    let incidents = q.find(&log);
+    let incidents = q.find(&log)?;
     println!("UpdateRefer -> GetReimburse: {incidents}");
     for wid in incidents.wids() {
         println!("  → instance {wid} updated its referral before reimbursement");
@@ -25,7 +25,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // ── 3. All four operators in one query. ───────────────────────────
     // Consecutive (~>), sequential (->), choice (|), parallel (&):
     let q = Query::parse("GetRefer ~> CheckIn -> (UpdateRefer | (SeeDoctor & PayTreatment))")?;
-    println!("\ncomposite query matches: {}", q.count(&log));
+    println!("\ncomposite query matches: {}", q.count(&log)?);
 
     // ── 4. Build your own log with the builder API. ───────────────────
     let mut b = LogBuilder::new();
@@ -35,12 +35,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     b.end_instance(w)?;
     let mine = b.build()?;
     let q = Query::parse("Plan ~> Execute")?;
-    println!("own log: Plan ~> Execute exists = {}", q.exists(&mine));
+    println!("own log: Plan ~> Execute exists = {}", q.exists(&mine)?);
 
     // ── 5. Or simulate a whole process at scale. ───────────────────────
     let model = wlq::scenarios::clinic::model();
     let big = simulate(&model, &SimulationConfig::new(500, 7));
-    let anomalies = wlq::analyses::update_before_reimburse(&big);
+    let anomalies = wlq::analyses::update_before_reimburse(&big)?;
     println!(
         "simulated {} instances ({} records): {} updated before reimbursement",
         big.num_instances(),

@@ -57,7 +57,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for (name, monitor) in &monitors {
         let batch = Query::new(monitor.pattern().clone())
             .optimize(false)
-            .find(&log);
+            .find(&log)?;
         let ok = batch == monitor.incidents();
         println!(
             "  {name:<26} {} incidents, matches batch: {ok}",

@@ -101,7 +101,7 @@ proptest! {
     #[test]
     fn parallel_batch_workers_agree(log in arb_log(), p in arb_pattern()) {
         let sequential = Evaluator::with_strategy(&log, EvalStrategy::Batch).evaluate(&p);
-        let parallel = wlq::evaluate_parallel(&log, &p, 3, EvalStrategy::Batch);
+        let parallel = wlq::evaluate_parallel(&log, &p, 3, EvalStrategy::Batch).unwrap();
         prop_assert_eq!(sequential, parallel, "parallel batch diverged on {}", &p);
     }
 }

@@ -242,6 +242,70 @@ fn audit_runs_builtin_and_custom_rule_files() {
 }
 
 #[test]
+fn exit_codes_distinguish_usage_io_and_malformed_logs() {
+    // 2 — usage errors: unknown command, unknown scenario, missing args.
+    assert_eq!(wlq(&["frobnicate"]).status.code(), Some(2));
+    assert_eq!(wlq(&["dot", "nope"]).status.code(), Some(2));
+    assert_eq!(wlq(&["query"]).status.code(), Some(2));
+
+    // 4 — file I/O: a path that does not exist.
+    let out = wlq(&["stats", "/no/such/dir/wlq-missing.txt"]);
+    assert_eq!(out.status.code(), Some(4));
+    assert!(stderr(&out).contains("cannot read"));
+
+    // 4 — file I/O: non-UTF-8 bytes where a text format is expected.
+    let bad = temp_path("not-utf8.txt");
+    std::fs::write(&bad, [0xFFu8, 0xFE, 0x00, 0x9F]).unwrap();
+    let out = wlq(&["stats", bad.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(4), "{}", stderr(&out));
+    std::fs::remove_file(&bad).ok();
+
+    // 5 — malformed log: an empty file has no records (Definition 2).
+    let empty = temp_path("empty.txt");
+    std::fs::write(&empty, "").unwrap();
+    let out = wlq(&["validate", empty.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(5), "{}", stderr(&out));
+    assert!(stderr(&out).contains("at least one record"));
+    std::fs::remove_file(&empty).ok();
+
+    // 5 — malformed log: garbage content names the line.
+    let garbage = temp_path("garbage.txt");
+    std::fs::write(&garbage, "this is not a log\n").unwrap();
+    let out = wlq(&["stats", garbage.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(5));
+    assert!(stderr(&out).contains("line 1"), "{}", stderr(&out));
+    std::fs::remove_file(&garbage).ok();
+}
+
+#[test]
+fn exit_codes_distinguish_pattern_rule_and_domain_failures() {
+    let path = temp_path("codes.csv");
+    let p = path.to_str().unwrap();
+    assert!(wlq(&["simulate", "clinic", "5", "1", p]).status.success());
+
+    // 3 — pattern parse failure.
+    let out = wlq(&["query", p, "GetRefer ~>", "--count"]);
+    assert_eq!(out.status.code(), Some(3), "{}", stderr(&out));
+
+    // 3 — rules-file parse failure.
+    let rules = temp_path("codes.rules");
+    std::fs::write(&rules, "not a rule\n").unwrap();
+    let out = wlq(&["audit", p, rules.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(3), "{}", stderr(&out));
+    std::fs::remove_file(&rules).ok();
+
+    // 1 — domain failure: the log violates the checked model.
+    let out = wlq(&["check", "order", p]);
+    assert_eq!(out.status.code(), Some(1), "{}", stderr(&out));
+    assert!(stderr(&out).contains("violate"));
+
+    // 0 — and the same log conforms to its own model.
+    assert_eq!(wlq(&["check", "clinic", p]).status.code(), Some(0));
+
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
 fn timeline_and_spans_commands() {
     let path = temp_path("timeline.csv");
     let p = path.to_str().unwrap();

@@ -33,7 +33,7 @@ fn clinic_pipeline_all_paths_agree() {
             reference,
             "optimizer broke {p} => {rewritten}"
         );
-        let parallel = wlq::evaluate_parallel(&log, &p, 4, Strategy::Optimized);
+        let parallel = wlq::evaluate_parallel(&log, &p, 4, Strategy::Optimized).unwrap();
         assert_eq!(parallel, reference, "parallel eval on {p}");
     }
 }
@@ -112,7 +112,7 @@ fn loan_choice_queries_partition_outcomes() {
 fn query_builder_threads_and_strategies_compose() {
     let log = simulate(&scenarios::clinic::model(), &SimulationConfig::new(80, 9));
     let q = Query::parse("SeeDoctor -> (UpdateRefer -> GetReimburse)").unwrap();
-    let base = q.clone().find(&log);
+    let base = q.clone().find(&log).unwrap();
     for threads in [1, 2, 8] {
         for strategy in [Strategy::NaivePaper, Strategy::Optimized] {
             for optimize in [true, false] {
@@ -121,7 +121,8 @@ fn query_builder_threads_and_strategies_compose() {
                     .threads(threads)
                     .strategy(strategy)
                     .optimize(optimize)
-                    .find(&log);
+                    .find(&log)
+                    .unwrap();
                 assert_eq!(
                     got, base,
                     "threads={threads} strategy={strategy:?} optimize={optimize}"
@@ -135,8 +136,8 @@ fn query_builder_threads_and_strategies_compose() {
 fn profile_reports_are_consistent() {
     let log = simulate(&scenarios::clinic::model(), &SimulationConfig::new(50, 3));
     let q = Query::parse("(GetRefer -> GetReimburse) | (GetRefer -> CompleteRefer)").unwrap();
-    let profile = q.profile(&log);
-    assert_eq!(profile.incidents, q.find(&log));
+    let profile = q.profile(&log).unwrap();
+    assert_eq!(profile.incidents, q.find(&log).unwrap());
     // The optimizer factors the shared prefix.
     assert!(profile.plan.contains("GetRefer"));
 }

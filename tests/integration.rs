@@ -92,8 +92,8 @@ fn all_evaluation_paths_agree() {
         let a = Evaluator::with_strategy(&log, Strategy::NaivePaper).evaluate(&p);
         let b = Evaluator::with_strategy(&log, Strategy::Optimized).evaluate(&p);
         let c = IncidentTree::from_pattern(&p).evaluate(&log, &index, Strategy::Optimized);
-        let d = wlq::evaluate_parallel(&log, &p, 3, Strategy::Optimized);
-        let e = Query::new(p.clone()).find(&log);
+        let d = wlq::evaluate_parallel(&log, &p, 3, Strategy::Optimized).unwrap();
+        let e = Query::new(p.clone()).find(&log).unwrap();
         let f = IncidentTree::from_postfix(wlq::to_postfix(&p))
             .unwrap()
             .evaluate(&log, &index, Strategy::NaivePaper);
@@ -172,9 +172,9 @@ fn theorem1_worst_case_growth() {
 fn query_projections() {
     let log = paper::figure3_log();
     let q = Query::parse("GetRefer").unwrap();
-    let by_instance = q.count_by_instance(&log);
+    let by_instance = q.count_by_instance(&log).unwrap();
     assert_eq!(by_instance.len(), 3);
-    let by_hospital = q.count_instances_by_attr(&log, "hospital");
+    let by_hospital = q.count_instances_by_attr(&log, "hospital").unwrap();
     assert_eq!(by_hospital[&wlq::Value::from("Public Hospital")], 2);
 
     let stats = LogStats::compute(&log);
@@ -187,7 +187,7 @@ fn prelude_compiles_and_works() {
     use wlq::prelude::*;
     let log = wlq::paper::figure3_log();
     let q = Query::parse("SeeDoctor").unwrap();
-    assert_eq!(q.count(&log), 4);
+    assert_eq!(q.count(&log).unwrap(), 4);
     let p: Pattern = "A | B".parse().unwrap();
     assert_eq!(p.op(), Some(Op::Choice));
 }
@@ -212,7 +212,7 @@ fn fast_count_agrees_with_all_paths() {
             let p: Pattern = src.parse().unwrap();
             let by_dp = wlq::fast_count(log, &p).expect("chain");
             let by_eval = Evaluator::new(log).count(&p);
-            let by_query = Query::new(p.clone()).count(log);
+            let by_query = Query::new(p.clone()).count(log).unwrap();
             assert_eq!(by_dp, by_eval, "{src}");
             assert_eq!(by_dp, by_query, "{src}");
         }
@@ -287,7 +287,7 @@ fn mining_and_projections_on_order_scenario() {
     let q = Query::new(p.clone());
     let some = q.find_first(&log, 7);
     assert_eq!(some.len(), 7);
-    let all = q.find(&log);
+    let all = q.find(&log).unwrap();
     for o in some.iter() {
         assert!(all.contains(o));
     }
@@ -301,7 +301,7 @@ fn timeline_cross_checks_prefix_evaluation_on_helpdesk() {
         &wlq::SimulationConfig::new(40, 5),
     );
     let p: Pattern = "Escalate -> Fix -> Close".parse().unwrap();
-    for point in wlq::timeline(&log, &p, 97) {
+    for point in wlq::timeline(&log, &p, 97).unwrap() {
         let prefix = log.prefix(point.lsn).unwrap();
         assert_eq!(point.incidents, Evaluator::new(&prefix).count(&p));
     }

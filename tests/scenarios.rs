@@ -37,7 +37,7 @@ fn clinic_anomaly_rates_are_plausible() {
     );
     // Updates before reimbursement occur in a meaningful minority of
     // instances (the loop enters UpdateRefer with weight 0.15).
-    let anomalous = analyses::update_before_reimburse(&log);
+    let anomalous = analyses::update_before_reimburse(&log).unwrap();
     assert!(
         anomalous.len() > 25 && anomalous.len() < 475,
         "implausible anomaly count {}",
@@ -45,7 +45,7 @@ fn clinic_anomaly_rates_are_plausible() {
     );
     // Updating *after* reimbursement is impossible in this model: the
     // loop is left for good once GetReimburse runs.
-    assert!(analyses::update_after_reimburse(&log).is_empty());
+    assert!(analyses::update_after_reimburse(&log).unwrap().is_empty());
 }
 
 #[test]
@@ -55,13 +55,13 @@ fn clinic_high_balance_analysis_matches_threshold_semantics() {
         &SimulationConfig::new(200, 303),
     );
     // Balances are drawn from 500..=8000, updates add 3000 each.
-    let over_zero = analyses::high_balance_referrals(&log, 0);
+    let over_zero = analyses::high_balance_referrals(&log, 0).unwrap();
     assert_eq!(over_zero.len(), 200, "every referral has positive balance");
-    let over_max = analyses::high_balance_referrals(&log, 1_000_000);
+    let over_max = analyses::high_balance_referrals(&log, 1_000_000).unwrap();
     assert!(over_max.is_empty());
     // Monotonicity in the threshold.
-    let t1 = analyses::high_balance_referrals(&log, 2000).len();
-    let t2 = analyses::high_balance_referrals(&log, 6000).len();
+    let t1 = analyses::high_balance_referrals(&log, 2000).unwrap().len();
+    let t2 = analyses::high_balance_referrals(&log, 6000).unwrap().len();
     assert!(t1 >= t2);
 }
 
