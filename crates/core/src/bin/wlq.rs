@@ -6,7 +6,7 @@
 //! wlq validate <log-file>
 //! wlq query    <log-file> <pattern> [--count|--exists|--by-instance]
 //!              [--naive] [--no-optimize] [--threads N]
-//! wlq explain  <log-file> <pattern>
+//! wlq explain  <log-file> <pattern> [--plan]
 //! wlq timeline <log-file> <pattern> [step]
 //! wlq spans    <log-file> <pattern>
 //! wlq mine     <log-file> [min-support]
@@ -138,7 +138,7 @@ fn usage() -> String {
      \x20 stats    <log-file>\n\
      \x20 validate <log-file>\n\
      \x20 query    <log-file> <pattern> [--count|--exists|--by-instance] [--naive] [--no-optimize] [--threads N]\n\
-     \x20 explain  <log-file> <pattern>\n\
+     \x20 explain  <log-file> <pattern> [--plan]\n\
      \x20 timeline <log-file> <pattern> [step]\n\
      \x20 spans    <log-file> <pattern>\n\
      \x20 mine     <log-file> [min-support]\n\
@@ -315,12 +315,16 @@ fn cmd_query(args: &[String]) -> Result<(), CliError> {
 }
 
 fn cmd_explain(args: &[String]) -> Result<(), CliError> {
-    let [path, pattern_src] = args else {
-        return Err(usage_err("usage: explain <log-file> <pattern>"));
+    let (path, pattern_src, strategy) = match args {
+        [path, pattern] => (path, pattern, Strategy::Optimized),
+        // --plan: run under the cost-based planner and print the chosen
+        // physical operator tree alongside the estimate/actual table.
+        [path, pattern, flag] if flag == "--plan" => (path, pattern, Strategy::Planned),
+        _ => return Err(usage_err("usage: explain <log-file> <pattern> [--plan]")),
     };
     let log = read_log(path)?;
     let pattern = parse_pattern(pattern_src)?;
-    let explain = Explain::run(&log, &pattern, true, Strategy::Optimized);
+    let explain = Explain::run(&log, &pattern, true, strategy);
     print!("{explain}");
     Ok(())
 }

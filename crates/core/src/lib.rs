@@ -39,8 +39,9 @@ pub use wlq_engine::{
     combine, combine_batch, combine_batch_into, equivalent_up_to, evaluate_parallel, fast_count,
     leaf_batch, leaf_incidents, mine_relations, timeline, BatchArena, BoundIncident, BoundedEquiv,
     EngineError, EvalTrace, Evaluator, Explain, ExplainRow, Incident, IncidentBatch, IncidentRef,
-    IncidentSet, IncidentTree, LabelledPattern, MinedRelation, Node, NodeTrace, Query,
-    QueryProfile, SharedStreamingEvaluator, SpanStats, Strategy, StreamingEvaluator, TimelinePoint,
+    IncidentSet, IncidentTree, JoinShape, LabelledPattern, MinedRelation, Node, NodeTrace, PhysOp,
+    PhysicalPlan, PlanCost, PlanNode, PlanStats, Planner, Query, QueryProfile, RewriteCandidate,
+    SharedStreamingEvaluator, SpanStats, Strategy, StreamingEvaluator, TimelinePoint,
 };
 pub use wlq_log::{
     attrs, io, paper, Activity, AttrMap, AttrName, IsLsn, Log, LogBuilder, LogError, LogIndex,

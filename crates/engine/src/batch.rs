@@ -117,6 +117,17 @@ impl IncidentBatch {
         }
     }
 
+    /// Pre-sizes storage for `refs` more incidents and `positions` more
+    /// pooled positions. Kernels that can compute their exact output size
+    /// up front call this once so emission never reallocates the pool —
+    /// reallocation during a wide `→` join would copy the entire
+    /// partially-built pool, and was the root cause of the batch
+    /// strategy's sequential end-to-end regression.
+    pub fn reserve(&mut self, refs: usize, positions: usize) {
+        self.refs.reserve(refs);
+        self.pool.reserve(positions);
+    }
+
     /// Clears the batch for reuse, keeping allocations.
     pub fn reset(&mut self, wid: Wid) {
         self.wid = wid;

@@ -52,8 +52,11 @@ impl Chain {
 }
 
 /// Flattens `pattern` into a `~>`/`->` chain of atoms, or `None` if the
-/// pattern has any other shape (choice, parallel, or nested operands) or
-/// uses attribute predicates (which need record access).
+/// pattern contains a choice or parallel operator anywhere, or uses
+/// attribute predicates (which need record access). Nested `~>`/`->`
+/// parenthesisations *are* supported — any shape whose operators are all
+/// consecutive/sequential flattens to the same chain — which is what lets
+/// the planner route every rewriting of a chain pattern here.
 fn as_chain(pattern: &Pattern) -> Option<Chain> {
     fn walk(p: &Pattern, atoms: &mut Vec<Atom>, ops: &mut Vec<ChainOp>) -> bool {
         match p {
@@ -169,7 +172,12 @@ mod tests {
         let fast = fast_count(log, &p).unwrap_or_else(|| panic!("{src} not a chain"));
         // The DP must agree with every enumeration path, including the
         // batch evaluator's ref-counting (which also never materialises).
-        for strategy in [Strategy::NaivePaper, Strategy::Optimized, Strategy::Batch] {
+        for strategy in [
+            Strategy::NaivePaper,
+            Strategy::Optimized,
+            Strategy::Batch,
+            Strategy::Planned,
+        ] {
             let slow = Evaluator::with_strategy(log, strategy).count(&p);
             assert_eq!(fast, slow, "{src} under {strategy:?}");
         }
@@ -204,6 +212,38 @@ mod tests {
         ] {
             let p: Pattern = src.parse().unwrap();
             assert_eq!(fast_count(&log, &p), None, "{src}");
+        }
+    }
+
+    #[test]
+    fn planner_routes_counts_through_the_right_path() {
+        let log = paper::figure3_log();
+        let planned = Evaluator::with_strategy(&log, Strategy::Planned);
+        let reference = Evaluator::with_strategy(&log, Strategy::NaivePaper);
+        // Nested `~>`/`->` parenthesisations flatten to chains: the plan
+        // flags the counting DP and the count matches enumeration.
+        for src in [
+            "SeeDoctor -> (UpdateRefer -> GetReimburse)",
+            "(GetRefer ~> CheckIn) -> GetReimburse",
+            "START -> (!START ~> END)",
+        ] {
+            let p: Pattern = src.parse().unwrap();
+            let plan = planned.physical_plan(&p).unwrap();
+            assert!(plan.is_counting_chain(), "{src} should take the DP");
+            assert_eq!(planned.count(&p), reference.count(&p), "{src}");
+        }
+        // Choice/parallel/predicates must NOT be flagged — they fall back
+        // to plan execution, still with the correct count.
+        for src in [
+            "SeeDoctor | UpdateRefer",
+            "SeeDoctor & PayTreatment",
+            "(CheckIn | SeeDoctor) -> GetReimburse",
+            "GetRefer[out.balance > 100] -> SeeDoctor",
+        ] {
+            let p: Pattern = src.parse().unwrap();
+            let plan = planned.physical_plan(&p).unwrap();
+            assert!(!plan.is_counting_chain(), "{src} must not take the DP");
+            assert_eq!(planned.count(&p), reference.count(&p), "{src}");
         }
     }
 

@@ -5,8 +5,10 @@ use wlq_log::{IsLsn, Log, LogIndex, Wid};
 use wlq_pattern::{Atom, Op, Pattern};
 
 use crate::batch::{BatchArena, IncidentBatch};
+use crate::counting::fast_count;
 use crate::incident::Incident;
 use crate::incident_set::IncidentSet;
+use crate::planner::{PhysOp, PhysicalPlan, PlanNode, Planner};
 use crate::{kernels, naive, optimized};
 
 /// Which operator implementations the evaluator uses.
@@ -23,8 +25,16 @@ pub enum Strategy {
     /// position pool and output stays sorted by construction where input
     /// order guarantees it. Produces identical incident sets; see
     /// `crate::batch` and `crate::kernels`.
-    #[default]
     Batch,
+    /// Cost-based planning on top of the batch layout: the query is
+    /// rewritten via the paper's Theorem 2–5 equivalences, the cheapest
+    /// tree is chosen by Lemma-1-style estimates, and each node gets a
+    /// physical operator (nested loop, batch kernel, or sort-merge
+    /// sequential join); `count()`/`exists()` route chain patterns to the
+    /// enumeration-free counting DP. Produces identical incident sets;
+    /// see `crate::planner`.
+    #[default]
+    Planned,
 }
 
 /// Combines two per-instance incident lists under `op` using `strategy`.
@@ -43,7 +53,7 @@ pub fn combine(strategy: Strategy, op: Op, left: &[Incident], right: &[Incident]
         (Strategy::Optimized, Op::Sequential) => optimized::sequential_eval(left, right),
         (Strategy::Optimized, Op::Choice) => optimized::choice_eval(left, right),
         (Strategy::Optimized, Op::Parallel) => optimized::parallel_eval(left, right),
-        (Strategy::Batch, _) => {
+        (Strategy::Batch | Strategy::Planned, _) => {
             // Boundary conversion for callers holding classic incident
             // lists (trees, streaming deltas); the evaluator's own batch
             // path stays flat end-to-end and never comes through here.
@@ -149,10 +159,11 @@ pub struct Evaluator<'a> {
     log: &'a Log,
     index: LogIndex,
     strategy: Strategy,
+    planner: Option<Planner>,
 }
 
 impl<'a> Evaluator<'a> {
-    /// Creates an evaluator with the default ([`Strategy::Batch`])
+    /// Creates an evaluator with the default ([`Strategy::Planned`])
     /// strategy.
     #[must_use]
     pub fn new(log: &'a Log) -> Self {
@@ -162,10 +173,13 @@ impl<'a> Evaluator<'a> {
     /// Creates an evaluator with an explicit strategy.
     #[must_use]
     pub fn with_strategy(log: &'a Log, strategy: Strategy) -> Self {
+        let index = LogIndex::build(log);
+        let planner = (strategy == Strategy::Planned).then(|| Planner::new(log, &index));
         Evaluator {
             log,
-            index: LogIndex::build(log),
+            index,
             strategy,
+            planner,
         }
     }
 
@@ -187,16 +201,123 @@ impl<'a> Evaluator<'a> {
         self.strategy
     }
 
+    /// The query planner, when the strategy is [`Strategy::Planned`].
+    #[must_use]
+    pub fn planner(&self) -> Option<&Planner> {
+        self.planner.as_ref()
+    }
+
+    /// Plans `pattern` with the cost-based planner, when the strategy is
+    /// [`Strategy::Planned`] (for `explain`-style inspection).
+    #[must_use]
+    pub fn physical_plan(&self, pattern: &Pattern) -> Option<PhysicalPlan> {
+        self.planner.as_ref().map(|pl| pl.plan(pattern))
+    }
+
+    /// Executes one physical plan node for one instance, drawing and
+    /// retiring batches in the caller's arena.
+    #[must_use]
+    pub fn execute_plan_in(
+        &self,
+        node: &PlanNode,
+        wid: Wid,
+        arena: &mut BatchArena,
+    ) -> IncidentBatch {
+        match node {
+            PlanNode::Leaf { atom, .. } => leaf_batch(atom, self.log, &self.index, wid, arena),
+            PlanNode::Join {
+                op,
+                phys,
+                left,
+                right,
+                ..
+            } => {
+                let l = self.execute_plan_in(left, wid, arena);
+                // Short-circuit: for the three conjunctive operators an
+                // empty side forces an empty result.
+                if l.is_empty() && *op != Op::Choice {
+                    return l;
+                }
+                let r = self.execute_plan_in(right, wid, arena);
+                let mut out = arena.alloc(wid);
+                match phys {
+                    PhysOp::NestedLoop => kernels::nested_loop_kernel(*op, &l, &r, &mut out),
+                    PhysOp::BatchKernel => kernels::combine_batch_into(*op, &l, &r, &mut out),
+                    PhysOp::SortMergeSeq => kernels::sequential_sort_merge_kernel(&l, &r, &mut out),
+                }
+                arena.recycle(l);
+                arena.recycle(r);
+                out
+            }
+        }
+    }
+
+    /// Executes a physical plan for one instance and materializes the
+    /// result as classic incidents.
+    ///
+    /// The root join gets the late-materialization treatment: when it is
+    /// a `⊙`/`→` node, [`kernels::materialize_join`] writes each union
+    /// straight into its final `Vec` instead of round-tripping the full
+    /// output through a batch pool plus [`IncidentBatch::drain_incidents`]
+    /// — at the query boundary that round-trip is pure overhead, and for
+    /// wide joins it re-copies every emitted position.
+    pub(crate) fn materialize_plan_in(
+        &self,
+        node: &PlanNode,
+        wid: Wid,
+        arena: &mut BatchArena,
+    ) -> Vec<Incident> {
+        if let PlanNode::Join {
+            op: op @ (Op::Consecutive | Op::Sequential),
+            left,
+            right,
+            ..
+        } = node
+        {
+            let l = self.execute_plan_in(left, wid, arena);
+            if l.is_empty() {
+                arena.recycle(l);
+                return Vec::new();
+            }
+            let r = self.execute_plan_in(right, wid, arena);
+            let direct = kernels::materialize_join(*op, &l, &r);
+            if let Some(incidents) = direct {
+                arena.recycle(l);
+                arena.recycle(r);
+                return incidents;
+            }
+            let mut out = arena.alloc(wid);
+            kernels::combine_batch_into(*op, &l, &r, &mut out);
+            arena.recycle(l);
+            arena.recycle(r);
+            let incidents = out.drain_incidents();
+            arena.recycle(out);
+            return incidents;
+        }
+        let mut batch = self.execute_plan_in(node, wid, arena);
+        let incidents = batch.drain_incidents();
+        arena.recycle(batch);
+        incidents
+    }
+
     /// Computes `incL(p)`: all incidents of `p` in the log.
     ///
-    /// Under [`Strategy::Batch`] the whole evaluation stays in the flat
-    /// [`IncidentBatch`] layout, converting to [`Incident`]s only here at
-    /// the query boundary; one [`BatchArena`] is reused across all
-    /// instances.
+    /// Under [`Strategy::Batch`] and [`Strategy::Planned`] the whole
+    /// evaluation stays in the flat [`IncidentBatch`] layout, converting
+    /// to [`Incident`]s only here at the query boundary; one
+    /// [`BatchArena`] is reused across all instances. [`Strategy::Planned`]
+    /// additionally plans the pattern once and executes the chosen
+    /// physical tree per instance, materializing the root join directly.
     #[must_use]
     pub fn evaluate(&self, pattern: &Pattern) -> IncidentSet {
         let mut parts = Vec::new();
-        if self.strategy == Strategy::Batch {
+        if let Some(planner) = &self.planner {
+            let plan = planner.plan(pattern);
+            let mut arena = BatchArena::new();
+            for wid in self.index.wids() {
+                parts.push((wid, self.materialize_plan_in(plan.root(), wid, &mut arena)));
+            }
+        } else if self.strategy == Strategy::Batch {
             let mut arena = BatchArena::new();
             for wid in self.index.wids() {
                 let mut batch = self.evaluate_instance_batch_in(pattern, wid, &mut arena);
@@ -214,6 +335,11 @@ impl<'a> Evaluator<'a> {
     /// Computes the incidents of `p` within a single instance.
     #[must_use]
     pub fn evaluate_instance(&self, pattern: &Pattern, wid: Wid) -> Vec<Incident> {
+        if let Some(planner) = &self.planner {
+            let plan = planner.plan(pattern);
+            let mut arena = BatchArena::new();
+            return self.materialize_plan_in(plan.root(), wid, &mut arena);
+        }
         if self.strategy == Strategy::Batch {
             return self.evaluate_instance_batch(pattern, wid).into_incidents();
         }
@@ -270,9 +396,26 @@ impl<'a> Evaluator<'a> {
         }
     }
 
-    /// Whether any incident of `p` exists (early-exits per instance).
+    /// Whether any incident of `p` exists (early-exits per instance;
+    /// under [`Strategy::Planned`] chain patterns skip enumeration via the
+    /// counting DP).
     #[must_use]
     pub fn exists(&self, pattern: &Pattern) -> bool {
+        if let Some(planner) = &self.planner {
+            let plan = planner.plan(pattern);
+            if plan.is_counting_chain() {
+                if let Some(n) = fast_count(self.log, plan.pattern()) {
+                    return n > 0;
+                }
+            }
+            let mut arena = BatchArena::new();
+            return self.index.wids().any(|wid| {
+                let batch = self.execute_plan_in(plan.root(), wid, &mut arena);
+                let found = !batch.is_empty();
+                arena.recycle(batch);
+                found
+            });
+        }
         if self.strategy == Strategy::Batch {
             let mut arena = BatchArena::new();
             return self.index.wids().any(|wid| {
@@ -290,9 +433,31 @@ impl<'a> Evaluator<'a> {
     /// Number of incidents of `p` in the log, `|incL(p)|`.
     ///
     /// Under [`Strategy::Batch`] this counts [`IncidentBatch`] refs
-    /// directly — no incident is ever materialized.
+    /// directly — no incident is ever materialized. Under
+    /// [`Strategy::Planned`], `~>`/`->` chains of predicate-free atoms
+    /// additionally skip enumeration entirely via [`fast_count`]'s
+    /// `O(m·k)` dynamic program.
     #[must_use]
     pub fn count(&self, pattern: &Pattern) -> usize {
+        if let Some(planner) = &self.planner {
+            let plan = planner.plan(pattern);
+            if plan.is_counting_chain() {
+                if let Some(n) = fast_count(self.log, plan.pattern()) {
+                    return n;
+                }
+            }
+            let mut arena = BatchArena::new();
+            return self
+                .index
+                .wids()
+                .map(|wid| {
+                    let batch = self.execute_plan_in(plan.root(), wid, &mut arena);
+                    let n = batch.len();
+                    arena.recycle(batch);
+                    n
+                })
+                .sum();
+        }
         if self.strategy == Strategy::Batch {
             let mut arena = BatchArena::new();
             return self
@@ -315,6 +480,20 @@ impl<'a> Evaluator<'a> {
     /// The instances containing at least one incident of `p`.
     #[must_use]
     pub fn matching_instances(&self, pattern: &Pattern) -> Vec<Wid> {
+        if let Some(planner) = &self.planner {
+            let plan = planner.plan(pattern);
+            let mut arena = BatchArena::new();
+            return self
+                .index
+                .wids()
+                .filter(|&wid| {
+                    let batch = self.execute_plan_in(plan.root(), wid, &mut arena);
+                    let found = !batch.is_empty();
+                    arena.recycle(batch);
+                    found
+                })
+                .collect();
+        }
         if self.strategy == Strategy::Batch {
             let mut arena = BatchArena::new();
             return self
@@ -352,7 +531,12 @@ mod tests {
     fn example3_update_before_reimburse() {
         // incL(UpdateRefer → GetReimburse) = {{l14, l20}}.
         let log = paper::figure3_log();
-        for strategy in [Strategy::NaivePaper, Strategy::Optimized, Strategy::Batch] {
+        for strategy in [
+            Strategy::NaivePaper,
+            Strategy::Optimized,
+            Strategy::Batch,
+            Strategy::Planned,
+        ] {
             let eval = Evaluator::with_strategy(&log, strategy);
             let set = eval.evaluate(&parse("UpdateRefer -> GetReimburse"));
             assert_eq!(set.len(), 1);
@@ -461,6 +645,7 @@ mod tests {
         let naive = Evaluator::with_strategy(&log, Strategy::NaivePaper);
         let opt = Evaluator::with_strategy(&log, Strategy::Optimized);
         let batch = Evaluator::with_strategy(&log, Strategy::Batch);
+        let planned = Evaluator::with_strategy(&log, Strategy::Planned);
         for src in [
             "GetRefer ~> CheckIn",
             "GetRefer -> GetReimburse",
@@ -486,6 +671,26 @@ mod tests {
                 naive.exists(&p),
                 batch.exists(&p),
                 "batch exists mismatch on {src}"
+            );
+            assert_eq!(
+                naive.evaluate(&p),
+                planned.evaluate(&p),
+                "planned mismatch on {src}"
+            );
+            assert_eq!(
+                naive.count(&p),
+                planned.count(&p),
+                "planned count mismatch on {src}"
+            );
+            assert_eq!(
+                naive.exists(&p),
+                planned.exists(&p),
+                "planned exists mismatch on {src}"
+            );
+            assert_eq!(
+                naive.matching_instances(&p),
+                planned.matching_instances(&p),
+                "planned matching_instances mismatch on {src}"
             );
         }
     }

@@ -9,6 +9,7 @@ use wlq_pattern::{CostModel, Optimizer, Pattern};
 
 use crate::eval::Strategy;
 use crate::incident_set::IncidentSet;
+use crate::planner::Planner;
 use crate::tree::IncidentTree;
 
 /// One row of an [`Explain`] report: a node of the evaluated plan.
@@ -34,6 +35,10 @@ pub struct Explain {
     pub query: String,
     /// The plan that ran (after optimization, if enabled).
     pub plan: String,
+    /// The cost-based physical plan (rewrite choice, per-node physical
+    /// operators, scored candidates), rendered when the strategy is
+    /// [`Strategy::Planned`].
+    pub physical_plan: Option<String>,
     /// Per-node rows in post-order (evaluation order).
     pub rows: Vec<ExplainRow>,
     /// The final incident set.
@@ -56,6 +61,8 @@ impl Explain {
         let model = optimizer.model();
 
         let index = LogIndex::build(log);
+        let physical_plan = (strategy == Strategy::Planned)
+            .then(|| Planner::new(log, &index).plan(&plan).to_string());
         let tree = IncidentTree::from_pattern(&plan);
         let (incidents, trace) = tree.evaluate_traced(log, &index, strategy);
 
@@ -84,6 +91,7 @@ impl Explain {
         Explain {
             query: pattern.to_string(),
             plan: plan.to_string(),
+            physical_plan,
             rows,
             incidents,
         }
@@ -113,6 +121,12 @@ impl fmt::Display for Explain {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "query: {}", self.query)?;
         writeln!(f, "plan : {}", self.plan)?;
+        if let Some(physical) = &self.physical_plan {
+            writeln!(f, "physical plan:")?;
+            for line in physical.lines() {
+                writeln!(f, "  {line}")?;
+            }
+        }
         writeln!(f, "{:>10} {:>10} {:>12}  node", "est", "actual", "time")?;
         for row in &self.rows {
             writeln!(
@@ -184,6 +198,21 @@ mod tests {
         assert!(text.contains("query: UpdateRefer -> GetReimburse"));
         assert!(text.contains("total: 1 incidents"));
         assert!(text.contains("UpdateRefer"));
+    }
+
+    #[test]
+    fn physical_plan_renders_only_under_planned() {
+        let log = paper::figure3_log();
+        let p = parse("SeeDoctor -> PayTreatment");
+        let optimized = Explain::run(&log, &p, true, Strategy::Optimized);
+        assert!(optimized.physical_plan.is_none());
+        let planned = Explain::run(&log, &p, true, Strategy::Planned);
+        let physical = planned.physical_plan.as_deref().unwrap();
+        assert!(physical.contains("chosen:"), "{physical}");
+        assert!(physical.contains("scan SeeDoctor"), "{physical}");
+        assert!(planned.to_string().contains("physical plan:"));
+        // Same results either way.
+        assert_eq!(planned.incidents, optimized.incidents);
     }
 
     #[test]

@@ -15,13 +15,20 @@
 //!   ([`IncidentBatch::finish_runs`]); `⊗` is a plain sorted merge
 //!   needing no fixup at all, and only `⊕` still pays a full sort.
 //!
-//! All four kernels produce exactly the incident sets of
-//! [`crate::naive`] / [`crate::optimized`] (property-tested in
-//! `tests/batch_equiv.rs`).
+//! Beyond the four logical kernels, two alternative *physical* operators
+//! exist for the planner to choose from: [`sequential_sort_merge_kernel`]
+//! replaces the per-left binary search of the `→` kernel with a single
+//! monotone cursor when the left refs arrive ordered by `last`, and
+//! [`nested_loop_kernel`] is the paper's Algorithm 1 join for inputs too
+//! small to amortise any setup.
+//!
+//! All kernels produce exactly the incident sets of [`crate::naive`] /
+//! [`crate::optimized`] (property-tested in `tests/batch_equiv.rs`).
 
 use wlq_pattern::Op;
 
-use crate::batch::IncidentBatch;
+use crate::batch::{IncidentBatch, IncidentRef};
+use crate::incident::Incident;
 
 fn check_operands(left: &IncidentBatch, right: &IncidentBatch, out: &IncidentBatch) {
     debug_assert_eq!(left.wid(), right.wid(), "operands from different instances");
@@ -32,6 +39,30 @@ fn check_operands(left: &IncidentBatch, right: &IncidentBatch, out: &IncidentBat
     );
     left.debug_check_invariants();
     right.debug_check_invariants();
+}
+
+/// Whether every left ref has a strictly distinct `first`.
+///
+/// When this holds, the `⊙`/`→` kernel output is fully sorted and
+/// duplicate-free *by construction*, and the `finish_runs` fixup can be
+/// skipped entirely: each output keeps its left operand's `first`, so
+/// outputs from different lefts are strictly ordered by that key, and
+/// outputs from one left share an identical prefix (the left's slice) and
+/// differ only in their right suffix — which is appended in the right
+/// batch's strictly ascending `(first, lex)` order.
+fn distinct_firsts(refs: &[IncidentRef]) -> bool {
+    refs.windows(2).all(|w| w[0].first() < w[1].first())
+}
+
+/// Suffix position sums over `refs`: `out[i]` = total positions held by
+/// `refs[i..]`. Lets the `→` kernels compute their exact output size (and
+/// reserve pool space once) before emitting anything.
+fn position_suffix_sums(refs: &[IncidentRef]) -> Vec<usize> {
+    let mut sums = vec![0usize; refs.len() + 1];
+    for i in (0..refs.len()).rev() {
+        sums[i] = sums[i + 1] + refs[i].len();
+    }
+    sums
 }
 
 /// Dispatches one operator to its batch kernel, writing into a fresh
@@ -75,24 +106,153 @@ pub fn consecutive_kernel(left: &IncidentBatch, right: &IncidentBatch, out: &mut
             out.push_concat(left.positions(lref), right.positions(rref));
         }
     }
-    out.finish_runs();
+    if distinct_firsts(left.refs()) {
+        out.debug_check_invariants();
+    } else {
+        out.finish_runs();
+    }
 }
 
 /// `→` (sequential): unions of pairs with `first(o2) > last(o1)`.
 ///
 /// Partners are the suffix of the first-sorted right refs past a single
-/// `partition_point`; every union is a concat.
+/// `partition_point`. The kernel runs in two passes: the first finds each
+/// left's partner start and accumulates the exact output size, so the
+/// output pool and refs are reserved in one shot (a wide `→` join emits
+/// `Θ(n1·n2)` positions — growing the pool incrementally re-copies it
+/// `O(log)` times, which dominated the sort it was meant to save); the
+/// second emits every union as a concat. When left `first`s are strictly
+/// distinct the output is sorted and deduplicated by construction and the
+/// `finish_runs` fixup is skipped.
 pub fn sequential_kernel(left: &IncidentBatch, right: &IncidentBatch, out: &mut IncidentBatch) {
     check_operands(left, right, out);
-    let rrefs = right.refs();
-    for lref in left.refs() {
+    let (lrefs, rrefs) = (left.refs(), right.refs());
+    if lrefs.is_empty() || rrefs.is_empty() {
+        return;
+    }
+    let suffix = position_suffix_sums(rrefs);
+    let mut starts = Vec::with_capacity(lrefs.len());
+    let (mut total_refs, mut total_positions) = (0usize, 0usize);
+    for lref in lrefs {
         let last = lref.last();
         let start = rrefs.partition_point(|r| r.first() <= last);
+        let partners = rrefs.len() - start;
+        total_refs += partners;
+        total_positions += partners * lref.len() + suffix[start];
+        starts.push(start);
+    }
+    out.reserve(total_refs, total_positions);
+    for (lref, &start) in lrefs.iter().zip(&starts) {
+        let lpos = left.positions(lref);
         for rref in &rrefs[start..] {
-            out.push_concat(left.positions(lref), right.positions(rref));
+            out.push_concat(lpos, right.positions(rref));
         }
     }
-    out.finish_runs();
+    if distinct_firsts(lrefs) {
+        out.debug_check_invariants();
+    } else {
+        out.finish_runs();
+    }
+}
+
+/// `→` (sequential) as a sort-merge join: exploits per-`wid` span
+/// ordering to replace the per-left binary search with one forward
+/// cursor.
+///
+/// When the left refs are non-decreasing in their cached `last` (always
+/// true when every left incident is width 1, e.g. a leaf operand — then
+/// `last == first` and the batch sort order makes them ascending), the
+/// partner-suffix start index is monotone across lefts, so a single
+/// cursor sweeps the right refs once: `O(n1 + n2 + |out|)` instead of
+/// `O(n1·log n2 + |out|)`. Falls back to [`sequential_kernel`] when the
+/// precondition does not hold, so it is correct on any input.
+pub fn sequential_sort_merge_kernel(
+    left: &IncidentBatch,
+    right: &IncidentBatch,
+    out: &mut IncidentBatch,
+) {
+    check_operands(left, right, out);
+    let (lrefs, rrefs) = (left.refs(), right.refs());
+    if lrefs.is_empty() || rrefs.is_empty() {
+        return;
+    }
+    if !lrefs.windows(2).all(|w| w[0].last() <= w[1].last()) {
+        sequential_kernel(left, right, out);
+        return;
+    }
+    let suffix = position_suffix_sums(rrefs);
+    let mut starts = Vec::with_capacity(lrefs.len());
+    let (mut total_refs, mut total_positions) = (0usize, 0usize);
+    let mut cursor = 0usize;
+    for lref in lrefs {
+        let last = lref.last();
+        while cursor < rrefs.len() && rrefs[cursor].first() <= last {
+            cursor += 1;
+        }
+        let partners = rrefs.len() - cursor;
+        total_refs += partners;
+        total_positions += partners * lref.len() + suffix[cursor];
+        starts.push(cursor);
+    }
+    out.reserve(total_refs, total_positions);
+    for (lref, &start) in lrefs.iter().zip(&starts) {
+        let lpos = left.positions(lref);
+        for rref in &rrefs[start..] {
+            out.push_concat(lpos, right.positions(rref));
+        }
+    }
+    if distinct_firsts(lrefs) {
+        out.debug_check_invariants();
+    } else {
+        out.finish_runs();
+    }
+}
+
+/// The paper's Algorithm 1 nested-loop join as a physical operator over
+/// batches: every `(left, right)` pair is tested against the operator's
+/// join condition, `O(n1·n2)` probes regardless of output size. The
+/// planner picks this when inputs are tiny enough that the batch kernels'
+/// setup (binary searches, suffix sums) costs more than brute force. `⊗`
+/// and `⊕` have no cheaper-on-tiny-inputs variant and delegate to their
+/// kernels.
+pub fn nested_loop_kernel(
+    op: Op,
+    left: &IncidentBatch,
+    right: &IncidentBatch,
+    out: &mut IncidentBatch,
+) {
+    check_operands(left, right, out);
+    match op {
+        Op::Consecutive => {
+            for lref in left.refs() {
+                let probe = lref.last().next();
+                for rref in right.refs() {
+                    if rref.first() == probe {
+                        out.push_concat(left.positions(lref), right.positions(rref));
+                    }
+                }
+            }
+        }
+        Op::Sequential => {
+            for lref in left.refs() {
+                let last = lref.last();
+                for rref in right.refs() {
+                    if rref.first() > last {
+                        out.push_concat(left.positions(lref), right.positions(rref));
+                    }
+                }
+            }
+        }
+        Op::Choice => return choice_kernel(left, right, out),
+        Op::Parallel => return parallel_kernel(left, right, out),
+    }
+    // Rights are scanned in sorted order, so the emission order matches
+    // the batch kernels' and the same finish logic applies.
+    if distinct_firsts(left.refs()) {
+        out.debug_check_invariants();
+    } else {
+        out.finish_runs();
+    }
 }
 
 /// `⊗` (choice): the union of both incident lists.
@@ -180,6 +340,76 @@ pub fn parallel_kernel(left: &IncidentBatch, right: &IncidentBatch, out: &mut In
         }
     }
     out.finish_full();
+}
+
+/// Late materialization for the *root* `⊙`/`→` join of a physical plan:
+/// emits classic [`Incident`]s directly instead of going through an
+/// output batch.
+///
+/// A query-boundary join otherwise pays the positions twice — once
+/// appended into the output pool by the kernel, once copied back out by
+/// [`IncidentBatch::drain_incidents`]. When the result leaves batch form
+/// anyway, each union can be written straight into its final
+/// exactly-sized `Vec`: the concat of the left slice and the right slice
+/// is already sorted (every right position exceeds every left `last`),
+/// and with strictly distinct left `first`s the emission order is fully
+/// sorted and duplicate-free by construction, so no `finish` pass of any
+/// kind remains. Returns `None` — caller falls back to kernel + drain —
+/// when the operator is `⊗`/`⊕` or left `first`s repeat (the output
+/// would need the batch fixup machinery).
+#[must_use]
+pub fn materialize_join(
+    op: Op,
+    left: &IncidentBatch,
+    right: &IncidentBatch,
+) -> Option<Vec<Incident>> {
+    debug_assert_eq!(left.wid(), right.wid(), "operands from different instances");
+    if !matches!(op, Op::Consecutive | Op::Sequential) || !distinct_firsts(left.refs()) {
+        return None;
+    }
+    let (lrefs, rrefs) = (left.refs(), right.refs());
+    if lrefs.is_empty() || rrefs.is_empty() {
+        return Some(Vec::new());
+    }
+    // Pass 1: partner run per left, and the exact output count.
+    let mut runs = Vec::with_capacity(lrefs.len());
+    let mut total = 0usize;
+    for lref in lrefs {
+        let (start, len) = match op {
+            Op::Sequential => {
+                let last = lref.last();
+                let start = rrefs.partition_point(|r| r.first() <= last);
+                (start, rrefs.len() - start)
+            }
+            _ => {
+                let probe = lref.last().next();
+                let start = rrefs.partition_point(|r| r.first() < probe);
+                let len = rrefs[start..]
+                    .iter()
+                    .take_while(|r| r.first() == probe)
+                    .count();
+                (start, len)
+            }
+        };
+        runs.push((start, len));
+        total += len;
+    }
+    // Pass 2: emit each union into its own exactly-sized positions Vec.
+    let mut out = Vec::with_capacity(total);
+    for (lref, &(start, len)) in lrefs.iter().zip(&runs) {
+        let lpos = left.positions(lref);
+        for rref in &rrefs[start..start + len] {
+            let rpos = right.positions(rref);
+            let mut positions = Vec::with_capacity(lpos.len() + rpos.len());
+            positions.extend_from_slice(lpos);
+            positions.extend_from_slice(rpos);
+            out.push(Incident::from_sorted_positions_unchecked(
+                left.wid(),
+                positions,
+            ));
+        }
+    }
+    Some(out)
 }
 
 #[cfg(test)]
@@ -279,6 +509,91 @@ mod tests {
             run(Op::Sequential, &left, &right),
             naive::sequential_eval(&left, &right)
         );
+    }
+
+    fn run_sort_merge(left: &[Incident], right: &[Incident]) -> Vec<Incident> {
+        let lb = IncidentBatch::from_incidents(WID, left);
+        let rb = IncidentBatch::from_incidents(WID, right);
+        let mut out = IncidentBatch::new(WID);
+        sequential_sort_merge_kernel(&lb, &rb, &mut out);
+        out.into_incidents()
+    }
+
+    fn run_nested(op: Op, left: &[Incident], right: &[Incident]) -> Vec<Incident> {
+        let lb = IncidentBatch::from_incidents(WID, left);
+        let rb = IncidentBatch::from_incidents(WID, right);
+        let mut out = IncidentBatch::new(WID);
+        nested_loop_kernel(op, &lb, &rb, &mut out);
+        out.into_incidents()
+    }
+
+    #[test]
+    fn sort_merge_matches_reference_on_fixtures() {
+        let (a, b) = (fixture_a(), fixture_b());
+        let empty: Vec<Incident> = Vec::new();
+        for (xs, ys) in [(&a, &b), (&b, &a), (&a, &a), (&a, &empty), (&empty, &b)] {
+            assert_eq!(run_sort_merge(xs, ys), naive::sequential_eval(xs, ys));
+        }
+    }
+
+    #[test]
+    fn sort_merge_falls_back_when_lasts_are_not_monotone() {
+        // lasts 9 then 2: the monotone-cursor precondition fails and the
+        // kernel must detour through the binary-search path.
+        let left = vec![incident(&[1, 9]), incident(&[2])];
+        let right = vec![incident(&[3]), incident(&[5]), incident(&[10])];
+        assert_eq!(
+            run_sort_merge(&left, &right),
+            naive::sequential_eval(&left, &right)
+        );
+    }
+
+    #[test]
+    fn sort_merge_handles_shared_firsts() {
+        // Lefts share first=1 (run fixup required) while lasts stay
+        // monotone, so the cursor path runs and still must finish runs.
+        let left = vec![incident(&[1]), incident(&[1, 3])];
+        let right = vec![incident(&[2]), incident(&[4]), incident(&[5])];
+        assert_eq!(
+            run_sort_merge(&left, &right),
+            naive::sequential_eval(&left, &right)
+        );
+    }
+
+    #[test]
+    fn materialize_join_matches_kernel_plus_drain() {
+        // Strictly distinct left firsts: the direct form applies and must
+        // emit exactly what the batch kernel would after draining.
+        let left = vec![incident(&[1]), incident(&[2, 3]), incident(&[5])];
+        let right = fixture_b();
+        for op in [Op::Consecutive, Op::Sequential] {
+            let lb = IncidentBatch::from_incidents(WID, &left);
+            let rb = IncidentBatch::from_incidents(WID, &right);
+            let direct = materialize_join(op, &lb, &rb).expect("distinct firsts");
+            let mut batch = combine_batch(op, &lb, &rb);
+            assert_eq!(direct, batch.drain_incidents());
+        }
+    }
+
+    #[test]
+    fn materialize_join_declines_fixup_cases() {
+        // fixture_a repeats first=1, so the output could need the run
+        // fixup; `⊗` has no concat form at all. Both must fall back.
+        let dup = IncidentBatch::from_incidents(WID, &fixture_a());
+        let rb = IncidentBatch::from_incidents(WID, &fixture_b());
+        assert!(materialize_join(Op::Sequential, &dup, &rb).is_none());
+        assert!(materialize_join(Op::Choice, &rb, &rb).is_none());
+        assert!(materialize_join(Op::Parallel, &rb, &rb).is_none());
+    }
+
+    #[test]
+    fn nested_loop_matches_reference_on_fixtures() {
+        let (a, b) = (fixture_a(), fixture_b());
+        for op in [Op::Consecutive, Op::Sequential, Op::Choice, Op::Parallel] {
+            for (xs, ys) in [(&a, &b), (&b, &a), (&a, &a)] {
+                assert_eq!(run_nested(op, xs, ys), naive_combine(op, xs, ys));
+            }
+        }
     }
 
     #[test]

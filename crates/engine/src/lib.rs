@@ -11,6 +11,9 @@
 //! * [`batch`] / [`kernels`] — the default evaluation hot path: flat
 //!   arena-backed [`IncidentBatch`] storage with zero-copy operator
 //!   kernels, again producing identical results.
+//! * [`planner`] — cost-based query planning: Theorem 2–5 rewrites, a
+//!   Lemma-1-style cost model, and per-node physical operator selection
+//!   (drives the default [`Strategy::Planned`]).
 //! * [`IncidentTree`] — Definition 6 trees with post-order evaluation
 //!   (Algorithms 2–3) and per-node traces.
 //! * [`Evaluator`] — the per-instance recursive evaluator with
@@ -57,6 +60,7 @@ pub mod batch;
 pub mod kernels;
 pub mod naive;
 pub mod optimized;
+pub mod planner;
 
 pub use batch::{BatchArena, IncidentBatch, IncidentRef};
 pub use bindings::{BoundIncident, LabelledPattern};
@@ -70,6 +74,9 @@ pub use incident_set::IncidentSet;
 pub use kernels::{combine_batch, combine_batch_into};
 pub use mining::{mine_relations, MinedRelation};
 pub use parallel::evaluate_parallel;
+pub use planner::{
+    JoinShape, PhysOp, PhysicalPlan, PlanCost, PlanNode, PlanStats, Planner, RewriteCandidate,
+};
 pub use query::{Query, QueryProfile};
 pub use resolve::{IncidentInLog, IncidentSetInLog};
 pub use spans::SpanStats;

@@ -87,6 +87,8 @@ impl Evaluator<'_> {
         if num_threads == 1 || wids.len() <= 1 {
             return Ok(self.evaluate(pattern));
         }
+        // Plan once, outside the scope; workers share the immutable plan.
+        let plan = self.planner().map(|pl| pl.plan(pattern));
 
         // One entry per worker: the (wid, incidents) pairs it swept.
         type WorkerParts = Vec<Vec<(Wid, Vec<Incident>)>>;
@@ -99,6 +101,7 @@ impl Evaluator<'_> {
                     .map(|_| {
                         let wids = &wids;
                         let next = &next;
+                        let plan = &plan;
                         scope.spawn(move |_| {
                             let mut out = Vec::new();
                             // Each worker owns its arena: batches for the
@@ -108,7 +111,9 @@ impl Evaluator<'_> {
                             loop {
                                 let i = next.fetch_add(1, Ordering::Relaxed);
                                 let Some(&wid) = wids.get(i) else { break };
-                                let incidents = if self.strategy() == Strategy::Batch {
+                                let incidents = if let Some(plan) = plan {
+                                    self.materialize_plan_in(plan.root(), wid, &mut arena)
+                                } else if self.strategy() == Strategy::Batch {
                                     let mut batch =
                                         self.evaluate_instance_batch_in(pattern, wid, &mut arena);
                                     let incidents = batch.drain_incidents();
@@ -234,6 +239,26 @@ mod tests {
             naive,
             evaluate_parallel(&log, &p, 4, Strategy::Batch).unwrap()
         );
+        assert_eq!(
+            naive,
+            evaluate_parallel(&log, &p, 4, Strategy::Planned).unwrap()
+        );
+    }
+
+    #[test]
+    fn planned_workers_match_sequential_on_many_instances() {
+        let log = many_instances(48);
+        let reference = Evaluator::with_strategy(&log, Strategy::Planned);
+        for src in ["A -> B", "(A & D) | (B ~> C)", "!A ~> D", "A -> B -> C"] {
+            let p = parse(src);
+            for threads in [2, 5] {
+                assert_eq!(
+                    evaluate_parallel(&log, &p, threads, Strategy::Planned).unwrap(),
+                    reference.evaluate(&p),
+                    "threads={threads} pattern={src}"
+                );
+            }
+        }
     }
 
     #[test]

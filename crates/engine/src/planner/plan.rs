@@ -1,0 +1,428 @@
+//! Physical plans: per-node operator selection over a chosen rewrite.
+
+use std::fmt;
+
+use wlq_log::{Log, LogIndex};
+use wlq_pattern::{Atom, Op, Optimizer, Pattern};
+
+use super::cost::{JoinShape, PlanCost};
+use super::rewrite::{candidates, RewriteCandidate};
+use super::stats::PlanStats;
+
+/// The physical implementation chosen for one operator node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PhysOp {
+    /// The paper's Algorithm 1 all-pairs join — cheapest on tiny inputs.
+    NestedLoop,
+    /// The flat batch kernel (binary-search partner runs for `⊙`/`→`,
+    /// sorted merges for `⊗`, speculative merge for `⊕`).
+    BatchKernel,
+    /// The sort-merge sequential join: one monotone cursor over the
+    /// right operand, `O(n1 + n2 + out)`. Sequential (`→`) nodes only.
+    SortMergeSeq,
+}
+
+impl PhysOp {
+    /// A short display name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            PhysOp::NestedLoop => "nested-loop",
+            PhysOp::BatchKernel => "batch-kernel",
+            PhysOp::SortMergeSeq => "sort-merge",
+        }
+    }
+}
+
+/// One node of a physical plan, annotated with the cost model's
+/// estimates.
+#[derive(Debug, Clone)]
+pub enum PlanNode {
+    /// A leaf: one index posting scan.
+    Leaf {
+        /// The atomic pattern to scan.
+        atom: Atom,
+        /// Estimated incidents produced.
+        estimate: f64,
+        /// Estimated scan cost.
+        cost: f64,
+    },
+    /// An operator node with a chosen physical implementation.
+    Join {
+        /// The logical operator.
+        op: Op,
+        /// The physical operator executing it.
+        phys: PhysOp,
+        /// Left input plan.
+        left: Box<PlanNode>,
+        /// Right input plan.
+        right: Box<PlanNode>,
+        /// Estimated incidents produced.
+        estimate: f64,
+        /// Estimated total cost of this subtree (children included).
+        cost: f64,
+    },
+}
+
+impl PlanNode {
+    /// Estimated incidents this node produces.
+    #[must_use]
+    pub fn estimate(&self) -> f64 {
+        match self {
+            PlanNode::Leaf { estimate, .. } | PlanNode::Join { estimate, .. } => *estimate,
+        }
+    }
+
+    /// Estimated total cost of this subtree.
+    #[must_use]
+    pub fn cost(&self) -> f64 {
+        match self {
+            PlanNode::Leaf { cost, .. } | PlanNode::Join { cost, .. } => *cost,
+        }
+    }
+
+    /// Whether this node is a leaf scan.
+    #[must_use]
+    pub fn is_leaf(&self) -> bool {
+        matches!(self, PlanNode::Leaf { .. })
+    }
+
+    /// Rebuilds the logical pattern this plan evaluates.
+    #[must_use]
+    pub fn pattern(&self) -> Pattern {
+        match self {
+            PlanNode::Leaf { atom, .. } => Pattern::Atom(atom.clone()),
+            PlanNode::Join {
+                op, left, right, ..
+            } => Pattern::binary(*op, left.pattern(), right.pattern()),
+        }
+    }
+
+    fn render(&self, f: &mut fmt::Formatter<'_>, depth: usize) -> fmt::Result {
+        let indent = depth * 2;
+        match self {
+            PlanNode::Leaf { atom, estimate, .. } => {
+                writeln!(
+                    f,
+                    "{:indent$}scan {}  (est {estimate:.1})",
+                    "",
+                    Pattern::Atom(atom.clone()),
+                )
+            }
+            PlanNode::Join {
+                op,
+                phys,
+                left,
+                right,
+                estimate,
+                cost,
+            } => {
+                writeln!(
+                    f,
+                    "{:indent$}{} [{}]  (est {estimate:.1}, cost {cost:.0})",
+                    "",
+                    op.name(),
+                    phys.name(),
+                )?;
+                left.render(f, depth + 1)?;
+                right.render(f, depth + 1)
+            }
+        }
+    }
+}
+
+/// Whether `p` is a `~>`/`->` chain of predicate-free atoms — exactly the
+/// shapes [`crate::fast_count`] supports (any parenthesisation, negated
+/// atoms included), so `count()`/`exists()` can take the enumeration-free
+/// DP instead of executing the plan.
+fn is_counting_chain(p: &Pattern) -> bool {
+    match p {
+        Pattern::Atom(atom) => atom.predicates.is_empty(),
+        Pattern::Binary {
+            op: Op::Consecutive | Op::Sequential,
+            left,
+            right,
+        } => is_counting_chain(left) && is_counting_chain(right),
+        Pattern::Binary { .. } => false,
+    }
+}
+
+/// A costed physical plan: the winning rewrite, per-node physical
+/// operators, and the scored alternatives (for `explain`).
+#[derive(Debug, Clone)]
+pub struct PhysicalPlan {
+    query: Pattern,
+    root: PlanNode,
+    rule: &'static str,
+    pattern: Pattern,
+    counting_chain: bool,
+    scored: Vec<(String, f64)>,
+}
+
+impl PhysicalPlan {
+    /// The query as given to the planner.
+    #[must_use]
+    pub fn query(&self) -> &Pattern {
+        &self.query
+    }
+
+    /// The root of the physical operator tree.
+    #[must_use]
+    pub fn root(&self) -> &PlanNode {
+        &self.root
+    }
+
+    /// The rewrite rule that produced the winning tree.
+    #[must_use]
+    pub fn rule(&self) -> &'static str {
+        self.rule
+    }
+
+    /// The rewritten pattern the plan evaluates (equivalent to the query
+    /// by Theorems 2–5).
+    #[must_use]
+    pub fn pattern(&self) -> &Pattern {
+        &self.pattern
+    }
+
+    /// Estimated total cost of the plan.
+    #[must_use]
+    pub fn cost(&self) -> f64 {
+        self.root.cost()
+    }
+
+    /// Whether `count()`/`exists()` can route to the enumeration-free
+    /// counting DP ([`crate::fast_count`]) instead of executing the plan.
+    #[must_use]
+    pub fn is_counting_chain(&self) -> bool {
+        self.counting_chain
+    }
+
+    /// Every candidate considered, as `(rule: pattern, estimated cost)`,
+    /// in enumeration order.
+    #[must_use]
+    pub fn scored_candidates(&self) -> &[(String, f64)] {
+        &self.scored
+    }
+}
+
+impl fmt::Display for PhysicalPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "chosen: {}  [{}]  (cost {:.0})",
+            self.pattern,
+            self.rule,
+            self.cost()
+        )?;
+        if self.counting_chain {
+            writeln!(f, "count/exists: enumeration-free counting DP")?;
+        }
+        self.root.render(f, 0)?;
+        if self.scored.len() > 1 {
+            writeln!(f, "candidates considered:")?;
+            for (label, cost) in &self.scored {
+                writeln!(f, "  {label}  (cost {cost:.0})")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+fn build_node(cost: &PlanCost, p: &Pattern) -> PlanNode {
+    match p {
+        Pattern::Atom(atom) => PlanNode::Leaf {
+            atom: atom.clone(),
+            estimate: cost.estimate_incidents(p),
+            cost: cost.leaf_cost(),
+        },
+        Pattern::Binary { op, left, right } => {
+            let l = build_node(cost, left);
+            let r = build_node(cost, right);
+            let (n1, n2) = (l.estimate(), r.estimate());
+            #[allow(clippy::cast_precision_loss)]
+            let (k1, k2) = (left.num_atoms() as f64, right.num_atoms() as f64);
+            let out = cost.model().combine_estimate(*op, n1, n2);
+            let shape = JoinShape {
+                n1,
+                n2,
+                k1,
+                k2,
+                out,
+            };
+            let (phys, node_cost) = cost.choose_physical(*op, l.is_leaf(), shape);
+            PlanNode::Join {
+                op: *op,
+                phys,
+                estimate: out,
+                cost: l.cost() + r.cost() + node_cost,
+                left: Box::new(l),
+                right: Box::new(r),
+            }
+        }
+    }
+}
+
+/// The query planner: enumerates equivalent trees, costs them, and picks
+/// a physical operator per node of the winner.
+#[derive(Debug, Clone)]
+pub struct Planner {
+    cost: PlanCost,
+    optimizer: Optimizer,
+}
+
+impl Planner {
+    /// Builds a planner from a log and its activity index.
+    #[must_use]
+    pub fn new(log: &Log, index: &LogIndex) -> Self {
+        let stats = PlanStats::compute(log, index);
+        let optimizer = Optimizer::new(stats.log_stats().clone());
+        Planner {
+            cost: PlanCost::new(stats),
+            optimizer,
+        }
+    }
+
+    /// Builds a planner from a log alone (builds a temporary index).
+    #[must_use]
+    pub fn from_log(log: &Log) -> Self {
+        Planner::new(log, &LogIndex::build(log))
+    }
+
+    /// The planner's cost model.
+    #[must_use]
+    pub fn cost(&self) -> &PlanCost {
+        &self.cost
+    }
+
+    /// The equivalent rewritings considered for `p` (original first).
+    #[must_use]
+    pub fn candidates(&self, p: &Pattern) -> Vec<RewriteCandidate> {
+        candidates(&self.optimizer, p)
+    }
+
+    /// Plans `p`: costs every candidate rewrite and returns the cheapest
+    /// with physical operators selected per node. The candidate set
+    /// always includes `p` itself, so planning never regresses by its own
+    /// estimate.
+    #[must_use]
+    pub fn plan(&self, p: &Pattern) -> PhysicalPlan {
+        let mut scored = Vec::new();
+        let mut best: Option<(PlanNode, &'static str, Pattern)> = None;
+        for candidate in self.candidates(p) {
+            let node = build_node(&self.cost, &candidate.pattern);
+            let cost = node.cost();
+            scored.push((format!("{}: {}", candidate.rule, candidate.pattern), cost));
+            let better = match &best {
+                None => true,
+                Some((current, _, _)) => cost < current.cost(),
+            };
+            if better {
+                best = Some((node, candidate.rule, candidate.pattern));
+            }
+        }
+        // `candidates` always returns at least the original pattern, so
+        // `best` is always set; the fallback keeps the API panic-free.
+        let (root, rule, pattern) =
+            best.unwrap_or_else(|| (build_node(&self.cost, p), "original", p.clone()));
+        PhysicalPlan {
+            query: p.clone(),
+            counting_chain: is_counting_chain(&pattern),
+            root,
+            rule,
+            pattern,
+            scored,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wlq_log::paper;
+    use wlq_workflow::generator;
+
+    fn parse(s: &str) -> Pattern {
+        s.parse().expect("valid pattern")
+    }
+
+    fn planner_for(log: &Log) -> Planner {
+        Planner::from_log(log)
+    }
+
+    #[test]
+    fn leaf_joins_on_pair_logs_pick_sort_merge() {
+        let log = generator::pair_log("A", 200, "B", 200, true);
+        let plan = planner_for(&log).plan(&parse("A -> B"));
+        let PlanNode::Join { phys, .. } = plan.root() else {
+            panic!("expected a join root");
+        };
+        assert_eq!(*phys, PhysOp::SortMergeSeq);
+        assert!(plan.is_counting_chain());
+    }
+
+    #[test]
+    fn chosen_pattern_is_always_equivalent_shape() {
+        let log = paper::figure3_log();
+        let planner = planner_for(&log);
+        for src in [
+            "SeeDoctor -> UpdateRefer -> GetReimburse",
+            "(SeeDoctor -> PayTreatment) | (SeeDoctor -> UpdateRefer)",
+            "SeeDoctor & PayTreatment",
+        ] {
+            let p = parse(src);
+            let plan = planner.plan(&p);
+            // The plan's pattern round-trips from its own operator tree.
+            assert_eq!(&plan.root().pattern(), plan.pattern(), "{src}");
+            assert_eq!(plan.query(), &p);
+        }
+    }
+
+    #[test]
+    fn planning_never_regresses_by_its_own_estimate() {
+        let log = paper::figure3_log();
+        let planner = planner_for(&log);
+        for src in [
+            "SeeDoctor",
+            "START -> SeeDoctor -> UpdateRefer",
+            "(GetRefer -> CheckIn) | (GetRefer -> SeeDoctor) | UpdateRefer",
+        ] {
+            let p = parse(src);
+            let plan = planner.plan(&p);
+            let original = plan
+                .scored_candidates()
+                .iter()
+                .find(|(label, _)| label.starts_with("original"))
+                .map(|&(_, c)| c)
+                .expect("original candidate always scored");
+            assert!(
+                plan.cost() <= original + 1e-9,
+                "{src}: chose {} over original ({} > {original})",
+                plan.pattern(),
+                plan.cost()
+            );
+        }
+    }
+
+    #[test]
+    fn counting_chain_flag_tracks_fast_count_support() {
+        let log = paper::figure3_log();
+        let planner = planner_for(&log);
+        assert!(planner.plan(&parse("A ~> B -> !C")).is_counting_chain());
+        assert!(!planner.plan(&parse("A | B")).is_counting_chain());
+        assert!(!planner.plan(&parse("A & B")).is_counting_chain());
+        assert!(!planner
+            .plan(&parse("GetRefer[out.balance > 100]"))
+            .is_counting_chain());
+    }
+
+    #[test]
+    fn display_renders_the_operator_tree() {
+        let log = paper::figure3_log();
+        let plan = planner_for(&log).plan(&parse("SeeDoctor -> PayTreatment"));
+        let text = plan.to_string();
+        assert!(text.contains("chosen:"), "{text}");
+        assert!(text.contains("scan SeeDoctor"), "{text}");
+        assert!(text.contains("sequential ["), "{text}");
+    }
+}

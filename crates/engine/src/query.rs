@@ -60,7 +60,7 @@ impl Query {
     }
 
     /// Chooses the operator implementations (default:
-    /// [`Strategy::Batch`]).
+    /// [`Strategy::Planned`]).
     #[must_use]
     pub fn strategy(mut self, strategy: Strategy) -> Self {
         self.strategy = strategy;
@@ -97,6 +97,11 @@ impl Query {
 
     /// The pattern that will actually run against `log` (after algebraic
     /// optimization, if enabled).
+    ///
+    /// This is the pattern-level plan only. Under [`Strategy::Planned`]
+    /// the evaluator additionally runs its own cost-based physical pass —
+    /// candidate rewrites plus per-node operator selection; see
+    /// [`crate::planner`] and [`Evaluator::physical_plan`].
     #[must_use]
     pub fn plan(&self, log: &Log) -> Pattern {
         if self.optimize {
@@ -335,10 +340,19 @@ mod tests {
             .threads(4)
             .find(&log)
             .unwrap();
+        let f = q.clone().strategy(Strategy::Planned).find(&log).unwrap();
+        let g = q
+            .clone()
+            .strategy(Strategy::Planned)
+            .threads(4)
+            .find(&log)
+            .unwrap();
         assert_eq!(a, b);
         assert_eq!(b, c);
         assert_eq!(b, d);
         assert_eq!(b, e);
+        assert_eq!(b, f);
+        assert_eq!(b, g);
     }
 
     #[test]

@@ -47,8 +47,9 @@ fn against(reference: &IncidentSet, name: &str, got: &IncidentSet) -> Option<Div
 /// first divergence, or `None` when all strategies agree.
 ///
 /// Strategies covered: `NaivePaper` (reference), `Optimized`, `Batch`,
-/// parallel evaluation with 1 and 4 workers, a full streaming replay,
-/// and — when the pattern is a chain — the `fast_count` DP.
+/// `Planned` (the cost-based planner, including its `count`/`exists`
+/// routing), parallel evaluation with 1 and 4 workers, a full streaming
+/// replay, and — when the pattern is a chain — the `fast_count` DP.
 #[must_use]
 pub fn check(log: &Log, pattern: &Pattern) -> Option<Divergence> {
     let reference = Evaluator::with_strategy(log, Strategy::NaivePaper).evaluate(pattern);
@@ -63,9 +64,36 @@ pub fn check(log: &Log, pattern: &Pattern) -> Option<Divergence> {
         return Some(d);
     }
 
-    for threads in [1usize, 4] {
-        let name = format!("parallel({threads})");
-        match evaluate_parallel(log, pattern, threads, Strategy::Optimized) {
+    // The planner picks an arbitrary equivalent rewrite and per-node
+    // physical operators, and routes count/exists through the counting
+    // DP for chains — check all three entry points.
+    let planned_eval = Evaluator::with_strategy(log, Strategy::Planned);
+    let planned = planned_eval.evaluate(pattern);
+    if let Some(d) = against(&reference, "Planned", &planned) {
+        return Some(d);
+    }
+    if planned_eval.count(pattern) != reference.len() {
+        return Some(Divergence {
+            strategy: "Planned::count".to_string(),
+            expected: reference.len(),
+            got: format!("{} (count only)", planned_eval.count(pattern)),
+        });
+    }
+    if planned_eval.exists(pattern) == reference.is_empty() {
+        return Some(Divergence {
+            strategy: "Planned::exists".to_string(),
+            expected: reference.len(),
+            got: format!("exists = {}", planned_eval.exists(pattern)),
+        });
+    }
+
+    for (threads, strategy) in [
+        (1usize, Strategy::Optimized),
+        (4, Strategy::Optimized),
+        (4, Strategy::Planned),
+    ] {
+        let name = format!("parallel({threads}, {strategy:?})");
+        match evaluate_parallel(log, pattern, threads, strategy) {
             Ok(set) => {
                 if let Some(d) = against(&reference, &name, &set) {
                     return Some(d);

@@ -9,9 +9,18 @@
 //! analysis, plotting, or baseline comparison is performed.
 
 use std::fmt::Display;
+use std::sync::OnceLock;
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
+
+/// Whether the harness runs in `--test` fast mode: each benchmark routine
+/// executes exactly once, untimed — mirroring real criterion's
+/// `cargo bench -- --test` smoke mode for CI (compile + run, no timing).
+fn test_mode() -> bool {
+    static MODE: OnceLock<bool> = OnceLock::new();
+    *MODE.get_or_init(|| std::env::args().any(|arg| arg == "--test"))
+}
 
 /// Harness entry point (mirrors `criterion::Criterion`).
 #[derive(Debug, Default)]
@@ -111,8 +120,13 @@ impl BenchmarkGroup<'_> {
         let mut bencher = Bencher {
             sample_size: self.sample_size,
             stats: None,
+            ran_untimed: false,
         };
         f(&mut bencher);
+        if bencher.ran_untimed {
+            println!("{}/{id}  (--test mode: ran once, untimed)", self.name);
+            return;
+        }
         match bencher.stats {
             Some(stats) => println!(
                 "{}/{id}  time: [{} {} {}]  ({} samples)",
@@ -150,6 +164,7 @@ pub struct Stats {
 pub struct Bencher {
     sample_size: usize,
     stats: Option<Stats>,
+    ran_untimed: bool,
 }
 
 /// Time budget per collected sample.
@@ -163,6 +178,11 @@ impl Bencher {
     where
         F: FnMut() -> O,
     {
+        if test_mode() {
+            black_box(routine());
+            self.ran_untimed = true;
+            return;
+        }
         // Warm-up: run until the budget elapses, estimating cost.
         let warmup_start = Instant::now();
         let mut warmup_iters: u32 = 0;
@@ -235,12 +255,13 @@ macro_rules! criterion_group {
     };
 }
 
-/// Emits `main` running the given groups (ignores harness CLI flags).
+/// Emits `main` running the given groups. The only harness flag honoured
+/// is `--test` (run each benchmark once, untimed — the CI smoke mode);
+/// everything else `cargo bench` passes (e.g. `--bench`) is ignored.
 #[macro_export]
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
-            // `cargo bench` passes flags like `--bench`; nothing to parse.
             $($group();)+
         }
     };

@@ -132,6 +132,24 @@ fn explain_and_mine_render_reports() {
     let text = stdout(&out);
     assert!(text.contains("plan :"));
     assert!(text.contains("total:"));
+    // Without --plan, no physical plan section.
+    assert!(!text.contains("physical plan:"), "{text}");
+
+    let out = wlq(&[
+        "explain",
+        path_str,
+        "PlaceOrder -> (Ship & CollectPayment)",
+        "--plan",
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let planned = stdout(&out);
+    assert!(planned.contains("physical plan:"), "{planned}");
+    assert!(planned.contains("chosen:"), "{planned}");
+    assert!(planned.contains("scan PlaceOrder"), "{planned}");
+
+    let out = wlq(&["explain", path_str, "PlaceOrder", "--bogus"]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("--plan"));
 
     let out = wlq(&["mine", path_str, "12"]);
     assert!(out.status.success());
