@@ -1,0 +1,212 @@
+//! The analyzer: configuration plus the rule-driving entry points.
+
+use wlq_log::{Log, LogStats};
+use wlq_pattern::{ParsePatternError, Pattern, PatternSpans, SpannedPattern};
+
+use crate::diag::Report;
+use crate::rules;
+
+/// Default WLQ105 budget: generous enough that the paper's worked
+/// examples on realistic logs stay silent, small enough to flag
+/// Theorem 1 `O(m^k)` blowups on large logs.
+pub const DEFAULT_COST_BUDGET: f64 = 1e8;
+
+/// A configured static-analysis pass over incident patterns.
+///
+/// Purely syntactic lints always run; log-dependent lints (unknown
+/// activities, cost budget) run only when the analyzer was given a log
+/// or its [`LogStats`].
+///
+/// ```
+/// use wlq_analysis::Analyzer;
+/// use wlq_log::paper;
+///
+/// let analyzer = Analyzer::with_log(&paper::figure3_log());
+/// let report = analyzer.analyze_source("CheckIn -> START")?;
+/// assert!(report.unsatisfiable());
+/// assert_eq!(report.errors(), 1);
+/// # Ok::<(), wlq_pattern::ParsePatternError>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Analyzer {
+    stats: Option<LogStats>,
+    cost_budget: Option<f64>,
+}
+
+impl Analyzer {
+    /// An analyzer with no log context: only syntactic lints run.
+    #[must_use]
+    pub fn new() -> Self {
+        Analyzer::default()
+    }
+
+    /// An analyzer checking patterns against `log`.
+    #[must_use]
+    pub fn with_log(log: &Log) -> Self {
+        Analyzer::with_stats(LogStats::compute(log))
+    }
+
+    /// An analyzer checking patterns against precomputed statistics.
+    #[must_use]
+    pub fn with_stats(stats: LogStats) -> Self {
+        Analyzer {
+            stats: Some(stats),
+            cost_budget: None,
+        }
+    }
+
+    /// Overrides the WLQ105 cost budget (default
+    /// [`DEFAULT_COST_BUDGET`]).
+    #[must_use]
+    pub fn cost_budget(mut self, budget: f64) -> Self {
+        self.cost_budget = Some(budget);
+        self
+    }
+
+    /// The statistics the analyzer checks against, if any.
+    #[must_use]
+    pub fn stats(&self) -> Option<&LogStats> {
+        self.stats.as_ref()
+    }
+
+    /// Parses `src` with spans and analyzes the result.
+    ///
+    /// # Errors
+    ///
+    /// Returns the parse error when `src` is not a valid pattern —
+    /// rendering it with a caret is the caller's job (see
+    /// [`render_parse_error`](crate::render_parse_error)).
+    pub fn analyze_source(&self, src: &str) -> Result<Report, ParsePatternError> {
+        Ok(self.analyze(&Pattern::parse_spanned(src)?))
+    }
+
+    /// Analyzes a pattern parsed with spans: every diagnostic is
+    /// anchored to the source text.
+    #[must_use]
+    pub fn analyze(&self, sp: &SpannedPattern) -> Report {
+        self.run(&sp.pattern, Some(&sp.spans))
+    }
+
+    /// Analyzes a pattern without source spans (built programmatically
+    /// or generated): diagnostics carry no anchors but are otherwise
+    /// identical.
+    #[must_use]
+    pub fn analyze_pattern(&self, p: &Pattern) -> Report {
+        self.run(p, None)
+    }
+
+    fn run(&self, p: &Pattern, spans: Option<&PatternSpans>) -> Report {
+        let mut diagnostics = Vec::new();
+        rules::structural(p, spans, &mut diagnostics);
+        rules::duplicate_branches(p, spans, &mut diagnostics);
+        rules::negation_only(p, spans, &mut diagnostics);
+        if let Some(stats) = &self.stats {
+            rules::unknown_activities(p, spans, stats, &mut diagnostics);
+            rules::cost(
+                p,
+                spans,
+                stats,
+                self.cost_budget.unwrap_or(DEFAULT_COST_BUDGET),
+                &mut diagnostics,
+            );
+        }
+        diagnostics.sort_by_key(|d| (d.span.map_or(usize::MAX, |s| s.start), d.code.as_str()));
+        Report {
+            diagnostics,
+            unsatisfiable: rules::unsatisfiable(p),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wlq_log::paper;
+
+    fn analyze(src: &str) -> Report {
+        Analyzer::new().analyze_source(src).expect("valid pattern")
+    }
+
+    #[test]
+    fn clean_patterns_stay_clean() {
+        for src in [
+            "SeeDoctor -> PayTreatment",
+            "START ~> GetRefer",
+            "A | B",
+            "!A ~> B",
+            "(A & B) -> C",
+        ] {
+            let r = analyze(src);
+            assert!(r.is_clean(), "{src}: {:?}", r.diagnostics);
+            assert!(!r.unsatisfiable());
+        }
+    }
+
+    #[test]
+    fn record_level_negation_shapes_are_not_flagged_unsat() {
+        // `t ~> !t` is satisfiable under record-level negation: the `!t`
+        // matches any single record with a different activity.
+        for src in ["A ~> !A", "!A -> A", "!START ~> A"] {
+            let r = analyze(src);
+            assert!(!r.unsatisfiable(), "{src}");
+            assert_eq!(r.errors(), 0, "{src}: {:?}", r.diagnostics);
+        }
+    }
+
+    #[test]
+    fn start_after_arrow_is_unsatisfiable() {
+        for src in ["A -> START", "A ~> START", "A -> (START | START ~> B)"] {
+            let r = analyze(src);
+            assert!(r.unsatisfiable(), "{src}");
+            assert!(r.errors() >= 1, "{src}");
+        }
+    }
+
+    #[test]
+    fn end_before_arrow_is_unsatisfiable() {
+        for src in ["END -> A", "END ~> A", "(B ~> END) -> A"] {
+            let r = analyze(src);
+            assert!(r.unsatisfiable(), "{src}");
+        }
+    }
+
+    #[test]
+    fn dead_choice_branch_reports_error_without_root_verdict() {
+        let r = analyze("(A -> START) | B");
+        assert_eq!(r.errors(), 1);
+        assert!(
+            !r.unsatisfiable(),
+            "the live branch B keeps the pattern satisfiable"
+        );
+    }
+
+    #[test]
+    fn parallel_start_duplication_is_unsatisfiable() {
+        let r = analyze("START & (START ~> A)");
+        assert!(r.unsatisfiable());
+        assert!(r.errors() >= 1);
+    }
+
+    #[test]
+    fn log_dependent_rules_need_a_log() {
+        let r = analyze("NoSuchActivity -> AlsoMissing");
+        assert!(r.is_clean(), "no log, no unknown-activity lint");
+        let r = Analyzer::with_log(&paper::figure3_log())
+            .analyze_source("NoSuchActivity -> AlsoMissing")
+            .expect("parses");
+        assert_eq!(r.warnings(), 2);
+    }
+
+    #[test]
+    fn spanless_analysis_matches_spanned_analysis() {
+        let src = "(A -> START) | (B | B)";
+        let spanned = Analyzer::new().analyze_source(src).expect("parses");
+        let p: Pattern = src.parse().expect("parses");
+        let spanless = Analyzer::new().analyze_pattern(&p);
+        let codes = |r: &Report| r.diagnostics.iter().map(|d| d.code).collect::<Vec<_>>();
+        assert_eq!(codes(&spanned), codes(&spanless));
+        assert_eq!(spanned.unsatisfiable(), spanless.unsatisfiable());
+        assert!(spanless.diagnostics.iter().all(|d| d.span.is_none()));
+        assert!(spanned.diagnostics.iter().all(|d| d.span.is_some()));
+    }
+}

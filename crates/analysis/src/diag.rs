@@ -1,0 +1,306 @@
+//! Diagnostic primitives: the lint registry, severities, and span-anchored
+//! findings.
+//!
+//! Every lint has a stable code (`WLQ0xx` for unsatisfiability errors,
+//! `WLQ1xx` for warnings and hints) so tooling can filter or suppress
+//! findings without parsing messages.
+
+use std::fmt;
+
+use wlq_pattern::Span;
+
+/// How serious a diagnostic is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// The pattern (or a subexpression) can never match: running it is
+    /// certainly pointless.
+    Error,
+    /// The pattern is almost certainly not what the author meant, or
+    /// will be needlessly expensive to evaluate.
+    Warning,
+    /// A stylistic or borderline observation.
+    Hint,
+}
+
+impl Severity {
+    /// Lowercase name as used in human and JSON output.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+            Severity::Hint => "hint",
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// The registry of lints, one variant per stable code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LintCode {
+    /// `WLQ001`: a `⊙`/`→` node forces records before `START` or after
+    /// `END`, which Definition 2 rules out.
+    StartEndUnsatisfiable,
+    /// `WLQ002`: both operands of a `⊕` must match the unique `START`
+    /// (or `END`) record, but parallel operands share no records.
+    ParallelBoundaryDuplicate,
+    /// `WLQ003`: an atom's predicate conjunction can never hold.
+    ContradictoryPredicates,
+    /// `WLQ101`: an activity name that occurs in no record of the log
+    /// the pattern is checked against.
+    UnknownActivity,
+    /// `WLQ102`: a duplicate branch in a `⊗` chain (`p ⊗ p ≡ p`).
+    DuplicateChoiceBranch,
+    /// `WLQ103`: structurally identical operands of a `⊕` chain — legal
+    /// (they must match disjoint records) but usually a mistake.
+    IdenticalParallelOperands,
+    /// `WLQ104`: every atom is negated, so every leaf scans the
+    /// complement of one activity — the Lemma 1 worst case.
+    NegationOnly,
+    /// `WLQ105`: estimated evaluation cost exceeds the configured
+    /// budget.
+    CostBudgetExceeded,
+}
+
+impl LintCode {
+    /// Every lint the analyzer knows, in code order.
+    pub const ALL: [LintCode; 8] = [
+        LintCode::StartEndUnsatisfiable,
+        LintCode::ParallelBoundaryDuplicate,
+        LintCode::ContradictoryPredicates,
+        LintCode::UnknownActivity,
+        LintCode::DuplicateChoiceBranch,
+        LintCode::IdenticalParallelOperands,
+        LintCode::NegationOnly,
+        LintCode::CostBudgetExceeded,
+    ];
+
+    /// The stable code, e.g. `"WLQ001"`.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            LintCode::StartEndUnsatisfiable => "WLQ001",
+            LintCode::ParallelBoundaryDuplicate => "WLQ002",
+            LintCode::ContradictoryPredicates => "WLQ003",
+            LintCode::UnknownActivity => "WLQ101",
+            LintCode::DuplicateChoiceBranch => "WLQ102",
+            LintCode::IdenticalParallelOperands => "WLQ103",
+            LintCode::NegationOnly => "WLQ104",
+            LintCode::CostBudgetExceeded => "WLQ105",
+        }
+    }
+
+    /// The kebab-case lint name, e.g. `"unsatisfiable-start-end"`.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            LintCode::StartEndUnsatisfiable => "unsatisfiable-start-end",
+            LintCode::ParallelBoundaryDuplicate => "parallel-boundary-duplicate",
+            LintCode::ContradictoryPredicates => "contradictory-predicates",
+            LintCode::UnknownActivity => "unknown-activity",
+            LintCode::DuplicateChoiceBranch => "duplicate-choice-branch",
+            LintCode::IdenticalParallelOperands => "identical-parallel-operands",
+            LintCode::NegationOnly => "negation-only-pattern",
+            LintCode::CostBudgetExceeded => "cost-budget-exceeded",
+        }
+    }
+
+    /// The fixed severity of this lint.
+    #[must_use]
+    pub fn severity(self) -> Severity {
+        match self {
+            LintCode::StartEndUnsatisfiable
+            | LintCode::ParallelBoundaryDuplicate
+            | LintCode::ContradictoryPredicates => Severity::Error,
+            LintCode::UnknownActivity
+            | LintCode::DuplicateChoiceBranch
+            | LintCode::NegationOnly
+            | LintCode::CostBudgetExceeded => Severity::Warning,
+            LintCode::IdenticalParallelOperands => Severity::Hint,
+        }
+    }
+
+    /// One-line description for registry listings.
+    #[must_use]
+    pub fn summary(self) -> &'static str {
+        match self {
+            LintCode::StartEndUnsatisfiable => {
+                "subexpression places records before START or after END"
+            }
+            LintCode::ParallelBoundaryDuplicate => {
+                "parallel operands both require the unique START/END record"
+            }
+            LintCode::ContradictoryPredicates => "an atom's predicates can never hold together",
+            LintCode::UnknownActivity => "activity occurs in no record of the log",
+            LintCode::DuplicateChoiceBranch => "duplicate branch in a choice chain",
+            LintCode::IdenticalParallelOperands => "identical operands in a parallel chain",
+            LintCode::NegationOnly => "pattern has no positive activity anchor",
+            LintCode::CostBudgetExceeded => "estimated evaluation cost exceeds the budget",
+        }
+    }
+}
+
+impl fmt::Display for LintCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One finding: a lint code plus a message anchored to a source span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Diagnostic {
+    /// Which lint fired.
+    pub code: LintCode,
+    /// The lint's severity (always `code.severity()`).
+    pub severity: Severity,
+    /// The primary message.
+    pub message: String,
+    /// Byte span into the pattern source, when the pattern was parsed
+    /// with spans (absent for programmatically built patterns).
+    pub span: Option<Span>,
+    /// Additional context lines.
+    pub notes: Vec<String>,
+    /// A suggested replacement or remedial action, if the analyzer has
+    /// one.
+    pub suggestion: Option<String>,
+}
+
+impl Diagnostic {
+    /// Builds a diagnostic for `code` with the severity of its lint.
+    #[must_use]
+    pub fn new(code: LintCode, message: impl Into<String>, span: Option<Span>) -> Self {
+        Diagnostic {
+            code,
+            severity: code.severity(),
+            message: message.into(),
+            span,
+            notes: Vec::new(),
+            suggestion: None,
+        }
+    }
+
+    /// Appends a note line.
+    #[must_use]
+    pub fn with_note(mut self, note: impl Into<String>) -> Self {
+        self.notes.push(note.into());
+        self
+    }
+
+    /// Attaches a suggestion.
+    #[must_use]
+    pub fn with_suggestion(mut self, suggestion: impl Into<String>) -> Self {
+        self.suggestion = Some(suggestion.into());
+        self
+    }
+}
+
+/// The outcome of analyzing one pattern.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Report {
+    /// All findings, ordered by source position then code.
+    pub diagnostics: Vec<Diagnostic>,
+    pub(crate) unsatisfiable: bool,
+}
+
+impl Report {
+    /// `true` when the analyzer proved the *whole* pattern matches no
+    /// incident on any Definition 2 log. Dead subexpressions inside a
+    /// choice produce error diagnostics without setting this flag,
+    /// because the other branches may still match.
+    #[must_use]
+    pub fn unsatisfiable(&self) -> bool {
+        self.unsatisfiable
+    }
+
+    /// Number of error findings.
+    #[must_use]
+    pub fn errors(&self) -> usize {
+        self.count(Severity::Error)
+    }
+
+    /// Number of warning findings.
+    #[must_use]
+    pub fn warnings(&self) -> usize {
+        self.count(Severity::Warning)
+    }
+
+    /// Number of hint findings.
+    #[must_use]
+    pub fn hints(&self) -> usize {
+        self.count(Severity::Hint)
+    }
+
+    /// Whether the report contains no findings at all.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    fn count(&self, severity: Severity) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == severity)
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_unique_and_stable() {
+        let mut seen = std::collections::BTreeSet::new();
+        for code in LintCode::ALL {
+            assert!(seen.insert(code.as_str()), "duplicate code {code}");
+            assert!(code.as_str().starts_with("WLQ"));
+            assert!(!code.name().is_empty());
+            assert!(!code.summary().is_empty());
+        }
+        assert_eq!(seen.len(), LintCode::ALL.len());
+    }
+
+    #[test]
+    fn error_codes_are_the_0xx_block() {
+        for code in LintCode::ALL {
+            let is_0xx = code.as_str().starts_with("WLQ0");
+            assert_eq!(
+                code.severity() == Severity::Error,
+                is_0xx,
+                "{code}: unsatisfiability proofs and only they are errors"
+            );
+        }
+    }
+
+    #[test]
+    fn report_counts_by_severity() {
+        let mut r = Report::default();
+        r.diagnostics
+            .push(Diagnostic::new(LintCode::StartEndUnsatisfiable, "x", None));
+        r.diagnostics
+            .push(Diagnostic::new(LintCode::UnknownActivity, "y", None));
+        r.diagnostics.push(Diagnostic::new(
+            LintCode::IdenticalParallelOperands,
+            "z",
+            None,
+        ));
+        assert_eq!((r.errors(), r.warnings(), r.hints()), (1, 1, 1));
+        assert!(!r.is_clean());
+        assert!(!r.unsatisfiable());
+    }
+
+    #[test]
+    fn diagnostic_builders_attach_notes_and_suggestions() {
+        let d = Diagnostic::new(LintCode::CostBudgetExceeded, "too costly", None)
+            .with_note("a note")
+            .with_suggestion("rewrite it");
+        assert_eq!(d.notes.len(), 1);
+        assert_eq!(d.suggestion.as_deref(), Some("rewrite it"));
+        assert_eq!(d.severity, Severity::Warning);
+    }
+}

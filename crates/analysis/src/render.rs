@@ -1,0 +1,263 @@
+//! Rendering diagnostics: human-readable caret output (rustc style) and
+//! a stable machine-readable JSON format.
+//!
+//! The same snippet renderer serves analyzer diagnostics and
+//! [`ParsePatternError`]s, so `wlq` points a caret at the offending
+//! token for both.
+
+use std::fmt::Write as _;
+
+use wlq_pattern::{ParsePatternError, Span};
+
+use crate::diag::{Report, Severity};
+
+/// Converts a byte offset into 1-based `(line, column)`, counting
+/// columns in characters. Offsets past the end clamp to the last
+/// position.
+#[must_use]
+pub fn line_col(src: &str, offset: usize) -> (usize, usize) {
+    let offset = offset.min(src.len());
+    let before = &src[..floor_char_boundary(src, offset)];
+    let line = before.bytes().filter(|&b| b == b'\n').count() + 1;
+    let line_start = before.rfind('\n').map_or(0, |i| i + 1);
+    let column = before[line_start..].chars().count() + 1;
+    (line, column)
+}
+
+fn floor_char_boundary(src: &str, mut i: usize) -> usize {
+    i = i.min(src.len());
+    while i > 0 && !src.is_char_boundary(i) {
+        i -= 1;
+    }
+    i
+}
+
+/// The `--> pattern:L:C` / source line / caret block for one span.
+fn snippet(src: &str, span: Span) -> String {
+    let (line, column) = line_col(src, span.start);
+    let line_text = src.lines().nth(line - 1).unwrap_or("");
+    let gutter = line.to_string();
+    let pad = " ".repeat(gutter.len());
+    // Caret length in characters, clamped to the rest of the line.
+    let start = floor_char_boundary(src, span.start);
+    let end = floor_char_boundary(src, span.end.max(span.start));
+    let caret_len = src
+        .get(start..end)
+        .map_or(1, |s| s.chars().take_while(|&c| c != '\n').count())
+        .max(1);
+    let mut out = String::new();
+    let _ = writeln!(out, "{pad}--> pattern:{line}:{column}");
+    let _ = writeln!(out, "{pad} |");
+    let _ = writeln!(out, "{gutter} | {line_text}");
+    let _ = writeln!(
+        out,
+        "{pad} | {}{}",
+        " ".repeat(column - 1),
+        "^".repeat(caret_len)
+    );
+    out
+}
+
+/// Renders a report the way `rustc` renders diagnostics: severity,
+/// code, message, caret snippet, then notes and suggestions.
+#[must_use]
+pub fn render_human(src: &str, report: &Report) -> String {
+    let mut out = String::new();
+    for d in &report.diagnostics {
+        let _ = writeln!(out, "{}[{}]: {}", d.severity, d.code, d.message);
+        if let Some(span) = d.span {
+            out.push_str(&snippet(src, span));
+        }
+        for note in &d.notes {
+            let _ = writeln!(out, " = note: {note}");
+        }
+        if let Some(suggestion) = &d.suggestion {
+            let _ = writeln!(out, " = help: {suggestion}");
+        }
+        out.push('\n');
+    }
+    let _ = write!(
+        out,
+        "{} error(s), {} warning(s), {} hint(s)",
+        report.errors(),
+        report.warnings(),
+        report.hints()
+    );
+    if report.unsatisfiable() {
+        out.push_str("; pattern is unsatisfiable");
+    }
+    out.push('\n');
+    out
+}
+
+/// Renders a parse error with the same caret snippet the analyzer
+/// uses, so `wlq` error output is uniform.
+#[must_use]
+pub fn render_parse_error(src: &str, err: &ParsePatternError) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "error: {err}");
+    if !src.is_empty() {
+        let span = Span::new(err.position, err.position + 1);
+        out.push_str(&snippet(src, span));
+    }
+    out
+}
+
+/// Renders a report as one line of JSON with a stable schema:
+///
+/// ```json
+/// {"version":1,
+///  "summary":{"errors":0,"warnings":0,"hints":0},
+///  "unsatisfiable":false,
+///  "diagnostics":[
+///    {"code":"WLQ001","name":"unsatisfiable-start-end","severity":"error",
+///     "message":"…","span":{"start":0,"end":5,"line":1,"column":1},
+///     "notes":["…"],"suggestion":null}]}
+/// ```
+///
+/// `span` is `null` for diagnostics on patterns parsed without spans.
+#[must_use]
+pub fn render_json(src: &str, report: &Report) -> String {
+    let mut out = String::from("{\"version\":1,\"summary\":{");
+    let _ = write!(
+        out,
+        "\"errors\":{},\"warnings\":{},\"hints\":{}}},\"unsatisfiable\":{},\"diagnostics\":[",
+        report.errors(),
+        report.warnings(),
+        report.hints(),
+        report.unsatisfiable()
+    );
+    for (i, d) in report.diagnostics.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"code\":{},\"name\":{},\"severity\":{},\"message\":{},\"span\":",
+            json_str(d.code.as_str()),
+            json_str(d.code.name()),
+            json_str(d.severity.as_str()),
+            json_str(&d.message)
+        );
+        match d.span {
+            Some(span) => {
+                let (line, column) = line_col(src, span.start);
+                let _ = write!(
+                    out,
+                    "{{\"start\":{},\"end\":{},\"line\":{line},\"column\":{column}}}",
+                    span.start, span.end
+                );
+            }
+            None => out.push_str("null"),
+        }
+        out.push_str(",\"notes\":[");
+        for (j, note) in d.notes.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            out.push_str(&json_str(note));
+        }
+        out.push_str("],\"suggestion\":");
+        match &d.suggestion {
+            Some(s) => out.push_str(&json_str(s)),
+            None => out.push_str("null"),
+        }
+        out.push('}');
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Escapes a string as a JSON string literal.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// `true` when the severity should fail a `--deny-warnings` run.
+#[must_use]
+pub fn denies(severity: Severity, deny_warnings: bool) -> bool {
+    match severity {
+        Severity::Error => true,
+        Severity::Warning => deny_warnings,
+        Severity::Hint => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diag::{Diagnostic, LintCode};
+    use wlq_pattern::Pattern;
+
+    #[test]
+    fn line_col_counts_lines_and_chars() {
+        assert_eq!(line_col("abc", 0), (1, 1));
+        assert_eq!(line_col("abc", 2), (1, 3));
+        assert_eq!(line_col("a\nbc", 2), (2, 1));
+        assert_eq!(line_col("a\nbc", 4), (2, 3));
+        // Multi-byte character: ⊙ is 3 bytes but 1 column, so the `B`
+        // at byte 6 sits in column 5.
+        assert_eq!(line_col("A ⊙ B", 6), (1, 5));
+        // Past-the-end clamps.
+        assert_eq!(line_col("ab", 99), (1, 3));
+    }
+
+    #[test]
+    fn snippet_places_the_caret_under_the_span() {
+        let src = "A -> START";
+        let s = snippet(src, Span::new(5, 10));
+        assert!(s.contains("--> pattern:1:6"), "{s}");
+        assert!(s.contains("| A -> START"), "{s}");
+        assert!(s.contains("|      ^^^^^"), "{s}");
+    }
+
+    #[test]
+    fn parse_error_rendering_has_a_caret() {
+        let src = "A -> ";
+        let err = Pattern::parse(src).expect_err("invalid");
+        let rendered = render_parse_error(src, &err);
+        assert!(rendered.starts_with("error: "), "{rendered}");
+        assert!(rendered.contains('^'), "{rendered}");
+    }
+
+    #[test]
+    fn json_escaping_covers_quotes_and_control_chars() {
+        assert_eq!(json_str("a\"b\\c\nd"), r#""a\"b\\c\nd""#);
+        assert_eq!(json_str("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn json_span_is_null_without_spans() {
+        let report = Report {
+            diagnostics: vec![Diagnostic::new(LintCode::NegationOnly, "msg", None)],
+            unsatisfiable: false,
+        };
+        let json = render_json("", &report);
+        assert!(json.contains("\"span\":null"), "{json}");
+        assert!(json.contains("\"suggestion\":null"), "{json}");
+    }
+
+    #[test]
+    fn deny_logic() {
+        assert!(denies(Severity::Error, false));
+        assert!(!denies(Severity::Warning, false));
+        assert!(denies(Severity::Warning, true));
+        assert!(!denies(Severity::Hint, true));
+    }
+}

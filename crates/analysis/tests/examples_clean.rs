@@ -1,0 +1,38 @@
+//! Every pattern shipped in `examples/patterns.wlq` must analyze clean
+//! against the paper's Figure 3 log — the same gate CI applies through
+//! `wlq check --deny-warnings`.
+
+use wlq_analysis::Analyzer;
+use wlq_log::paper;
+
+#[test]
+fn shipped_example_patterns_are_clean() {
+    let text = std::fs::read_to_string(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../examples/patterns.wlq"
+    ))
+    .expect("examples/patterns.wlq exists");
+    let analyzer = Analyzer::with_log(&paper::figure3_log());
+    let mut checked = 0;
+    for (lineno, line) in text.lines().enumerate() {
+        let src = line.trim();
+        if src.is_empty() || src.starts_with('#') {
+            continue;
+        }
+        let report = analyzer
+            .analyze_source(src)
+            .unwrap_or_else(|e| panic!("line {}: {src:?} does not parse: {e}", lineno + 1));
+        assert!(
+            report.is_clean(),
+            "line {}: {src:?} is not clean: {:?}",
+            lineno + 1,
+            report.diagnostics
+        );
+        assert!(!report.unsatisfiable(), "line {}: {src:?}", lineno + 1);
+        checked += 1;
+    }
+    assert!(
+        checked >= 8,
+        "expected a meaningful example set, got {checked}"
+    );
+}

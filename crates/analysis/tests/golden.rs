@@ -1,0 +1,178 @@
+//! Golden tests: one triggering source per lint code, checking the
+//! code, severity, span anchor, and the human caret rendering.
+
+use wlq_analysis::{render_human, Analyzer, LintCode, Severity};
+use wlq_log::paper;
+
+/// Analyzes `src` without log context and returns the report.
+fn analyze(src: &str) -> wlq_analysis::Report {
+    Analyzer::new().analyze_source(src).expect("valid pattern")
+}
+
+/// Analyzes `src` against the Figure 3 log.
+fn analyze_fig3(src: &str) -> wlq_analysis::Report {
+    Analyzer::with_log(&paper::figure3_log())
+        .analyze_source(src)
+        .expect("valid pattern")
+}
+
+/// Asserts the report contains a diagnostic for `code` whose span
+/// slices `src` to `slice`, and returns it.
+fn expect_diag<'r>(
+    report: &'r wlq_analysis::Report,
+    src: &str,
+    code: LintCode,
+    slice: &str,
+) -> &'r wlq_analysis::Diagnostic {
+    let diag = report
+        .diagnostics
+        .iter()
+        .find(|d| d.code == code)
+        .unwrap_or_else(|| panic!("no {code:?} in {:?}", report.diagnostics));
+    let span = diag.span.unwrap_or_else(|| panic!("{code:?} has no span"));
+    assert_eq!(span.slice(src), slice, "{code:?} anchors the wrong text");
+    assert_eq!(diag.severity, code.severity());
+    diag
+}
+
+#[test]
+fn wlq001_start_after_arrow() {
+    let src = "CheckIn -> START";
+    let report = analyze(src);
+    expect_diag(&report, src, LintCode::StartEndUnsatisfiable, "START");
+    assert!(report.unsatisfiable());
+    let human = render_human(src, &report);
+    assert!(human.contains("error[WLQ001]"), "{human}");
+    assert!(human.contains("^^^^^"), "{human}");
+}
+
+#[test]
+fn wlq001_end_before_arrow() {
+    let src = "END ~> CheckIn";
+    let report = analyze(src);
+    expect_diag(&report, src, LintCode::StartEndUnsatisfiable, "END");
+    assert!(report.unsatisfiable());
+}
+
+#[test]
+fn wlq002_parallel_boundary_duplicate() {
+    let src = "START & (START ~> GetRefer)";
+    let report = analyze(src);
+    let diag = expect_diag(&report, src, LintCode::ParallelBoundaryDuplicate, src);
+    assert!(report.unsatisfiable());
+    assert!(
+        diag.message.contains("START"),
+        "message names the boundary: {}",
+        diag.message
+    );
+}
+
+#[test]
+fn wlq003_contradictory_equalities() {
+    let src = "GetRefer[balance = 1, balance = 2]";
+    let report = analyze(src);
+    expect_diag(&report, src, LintCode::ContradictoryPredicates, src);
+    assert!(report.unsatisfiable());
+}
+
+#[test]
+fn wlq003_empty_numeric_interval() {
+    let src = "GetRefer[in.balance > 5, in.balance < 3]";
+    let report = analyze(src);
+    expect_diag(&report, src, LintCode::ContradictoryPredicates, src);
+    assert!(report.unsatisfiable());
+}
+
+#[test]
+fn wlq101_unknown_activity_needs_a_log() {
+    let src = "Zzz -> CheckIn";
+    assert!(analyze(src).is_clean(), "no log, no unknown-activity lint");
+    let report = analyze_fig3(src);
+    let diag = expect_diag(&report, src, LintCode::UnknownActivity, "Zzz");
+    assert_eq!(diag.severity, Severity::Warning);
+    assert!(
+        !report.unsatisfiable(),
+        "absence is log-specific, not a proof"
+    );
+}
+
+#[test]
+fn wlq102_duplicate_choice_branch() {
+    let src = "CheckIn | CheckIn";
+    let report = analyze(src);
+    let diag = expect_diag(&report, src, LintCode::DuplicateChoiceBranch, "CheckIn");
+    assert!(diag.span.unwrap().start > 0, "anchors the *second* branch");
+    assert!(diag.suggestion.is_some());
+    assert!(!report.unsatisfiable());
+}
+
+#[test]
+fn wlq102_sees_through_associativity() {
+    // `(A | B) | (B | A)` flattens to one choice chain (Theorem 4), so
+    // both operands of the second group duplicate earlier branches.
+    let src = "(CheckIn | SeeDoctor) | (SeeDoctor | CheckIn)";
+    let report = analyze(src);
+    let dups: Vec<&str> = report
+        .diagnostics
+        .iter()
+        .filter(|d| d.code == LintCode::DuplicateChoiceBranch)
+        .map(|d| d.span.expect("anchored").slice(src))
+        .collect();
+    assert_eq!(dups, ["SeeDoctor", "CheckIn"]);
+    // Both carry spans in the second group, past the `|` at byte 22.
+    for d in &report.diagnostics {
+        assert!(d.span.unwrap().start > 22, "{d:?}");
+    }
+}
+
+#[test]
+fn wlq103_identical_parallel_operands_is_a_hint() {
+    let src = "CheckIn & CheckIn";
+    let report = analyze(src);
+    let diag = expect_diag(&report, src, LintCode::IdenticalParallelOperands, "CheckIn");
+    assert_eq!(diag.severity, Severity::Hint);
+    assert!(
+        !report.unsatisfiable(),
+        "two distinct CheckIn records can exist"
+    );
+}
+
+#[test]
+fn wlq104_negation_only() {
+    let src = "!CheckIn ~> !SeeDoctor";
+    let report = analyze(src);
+    let diag = expect_diag(&report, src, LintCode::NegationOnly, src);
+    assert!(
+        diag.suggestion.is_some(),
+        "suggests adding a positive anchor"
+    );
+    // One positive atom anywhere silences it.
+    assert!(analyze("!CheckIn ~> PayTreatment")
+        .diagnostics
+        .iter()
+        .all(|d| d.code != LintCode::NegationOnly));
+}
+
+#[test]
+fn wlq105_cost_budget_with_rewrite_suggestion() {
+    let src = "SeeDoctor -> PayTreatment";
+    let report = Analyzer::with_log(&paper::figure3_log())
+        .cost_budget(1.0)
+        .analyze_source(src)
+        .expect("valid pattern");
+    let diag = expect_diag(&report, src, LintCode::CostBudgetExceeded, src);
+    assert!(
+        diag.message.contains("cost"),
+        "message states the estimate: {}",
+        diag.message
+    );
+    // With the default budget the same pattern is silent.
+    assert!(analyze_fig3(src).is_clean());
+}
+
+#[test]
+fn every_lint_code_has_a_golden_trigger() {
+    // The cases above cover the whole registry; this guards against a
+    // new lint landing without a golden test.
+    assert_eq!(LintCode::ALL.len(), 8);
+}

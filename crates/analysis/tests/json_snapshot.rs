@@ -1,0 +1,66 @@
+//! Snapshot test pinning the `--format json` schema byte-for-byte.
+//!
+//! If this test fails, the machine-readable output changed: bump the
+//! `version` field and update downstream consumers before updating the
+//! expected strings here.
+
+use wlq_analysis::{render_json, Analyzer};
+use wlq_log::paper;
+
+#[test]
+fn clean_pattern_snapshot() {
+    let src = "SeeDoctor -> PayTreatment";
+    let report = Analyzer::new().analyze_source(src).expect("parses");
+    assert_eq!(
+        render_json(src, &report),
+        "{\"version\":1,\"summary\":{\"errors\":0,\"warnings\":0,\"hints\":0},\
+         \"unsatisfiable\":false,\"diagnostics\":[]}"
+    );
+}
+
+#[test]
+fn unsatisfiable_pattern_snapshot() {
+    let src = "CheckIn -> START";
+    let report = Analyzer::new().analyze_source(src).expect("parses");
+    assert_eq!(
+        render_json(src, &report),
+        "{\"version\":1,\"summary\":{\"errors\":1,\"warnings\":0,\"hints\":0},\
+         \"unsatisfiable\":true,\"diagnostics\":[\
+         {\"code\":\"WLQ001\",\"name\":\"unsatisfiable-start-end\",\"severity\":\"error\",\
+         \"message\":\"the right operand of `->` always matches the START record, \
+         so this subexpression can never match\",\
+         \"span\":{\"start\":11,\"end\":16,\"line\":1,\"column\":12},\
+         \"notes\":[\"START is the first record of every instance (Definition 2); \
+         no record can precede it\"],\
+         \"suggestion\":null}]}"
+    );
+}
+
+#[test]
+fn unknown_activity_snapshot() {
+    let src = "Zzz ~> CheckIn";
+    let report = Analyzer::with_log(&paper::figure3_log())
+        .analyze_source(src)
+        .expect("parses");
+    assert_eq!(
+        render_json(src, &report),
+        "{\"version\":1,\"summary\":{\"errors\":0,\"warnings\":1,\"hints\":0},\
+         \"unsatisfiable\":false,\"diagnostics\":[\
+         {\"code\":\"WLQ101\",\"name\":\"unknown-activity\",\"severity\":\"warning\",\
+         \"message\":\"activity `Zzz` never occurs in the log (20 records, 9 distinct activities)\",\
+         \"span\":{\"start\":0,\"end\":3,\"line\":1,\"column\":1},\
+         \"notes\":[\"a positive atom over an absent activity matches nothing\"],\
+         \"suggestion\":null}]}"
+    );
+}
+
+#[test]
+fn json_is_one_line_and_versioned() {
+    for src in ["A | A", "!A ~> !B", "(A -> START) | B"] {
+        let report = Analyzer::new().analyze_source(src).expect("parses");
+        let json = render_json(src, &report);
+        assert_eq!(json.lines().count(), 1, "{src}");
+        assert!(json.starts_with("{\"version\":1,"), "{src}: {json}");
+        assert!(json.ends_with("]}"), "{src}: {json}");
+    }
+}

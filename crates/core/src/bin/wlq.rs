@@ -10,7 +10,9 @@
 //! wlq timeline <log-file> <pattern> [step]
 //! wlq spans    <log-file> <pattern>
 //! wlq mine     <log-file> [min-support]
-//! wlq check    <clinic|order|loan|helpdesk> <log-file>
+//! wlq check    <pattern> [--log <log-file>] [--format human|json]
+//!              [--deny-warnings] [--cost-budget N]
+//! wlq conform  <clinic|order|loan|helpdesk> <log-file>
 //! wlq audit    <log-file> [rules-file]
 //! wlq convert  <in-file> <out-file>
 //! wlq dot      <clinic|order|loan|helpdesk>
@@ -26,7 +28,7 @@
 //! | code | meaning |
 //! |---|---|
 //! | 0 | success |
-//! | 1 | domain failure (e.g. `check` found violating instances) |
+//! | 1 | domain failure (e.g. `conform` found violating instances, or `check` found lint errors) |
 //! | 2 | usage error (unknown command/scenario/flag, bad argument) |
 //! | 3 | pattern or rule-file parse error |
 //! | 4 | file I/O error |
@@ -37,8 +39,9 @@ use std::fmt;
 use std::process::ExitCode;
 
 use wlq::{
-    io, mine_relations, scenarios, simulate, EngineError, Explain, Log, LogStats, Pattern, Query,
-    SimulationConfig, Strategy, WorkflowModel,
+    denies, io, mine_relations, render_human, render_json, render_parse_error, scenarios, simulate,
+    Analyzer, EngineError, Explain, Log, LogStats, Pattern, Query, SimulationConfig, Strategy,
+    WorkflowModel,
 };
 
 /// A CLI failure, categorised for its exit code.
@@ -123,6 +126,7 @@ fn run(args: &[String]) -> Result<(), CliError> {
         "spans" => cmd_spans(&args[1..]),
         "mine" => cmd_mine(&args[1..]),
         "check" => cmd_check(&args[1..]),
+        "conform" => cmd_conform(&args[1..]),
         "convert" => cmd_convert(&args[1..]),
         "audit" => cmd_audit(&args[1..]),
         "dot" => cmd_dot(&args[1..]),
@@ -142,7 +146,8 @@ fn usage() -> String {
      \x20 timeline <log-file> <pattern> [step]\n\
      \x20 spans    <log-file> <pattern>\n\
      \x20 mine     <log-file> [min-support]\n\
-     \x20 check    <clinic|order|loan|helpdesk> <log-file>\n\
+     \x20 check    <pattern> [--log <log-file>] [--format human|json] [--deny-warnings] [--cost-budget N]\n\
+     \x20 conform  <clinic|order|loan|helpdesk> <log-file>\n\
      \x20 audit    <log-file> [rules-file]\n\
      \x20 convert  <in-file> <out-file>\n\
      \x20 dot      <clinic|order|loan|helpdesk>\n\
@@ -204,9 +209,18 @@ fn write_log(log: &Log, path: &str) -> Result<(), CliError> {
     }
 }
 
+/// Parses a pattern, rendering failures with the same caret snippet the
+/// analyzer uses so the offending token is pointed at directly.
 fn parse_pattern(src: &str) -> Result<Pattern, CliError> {
-    src.parse()
-        .map_err(|e| CliError::Parse(format!("bad pattern {src:?}: {e}")))
+    src.parse().map_err(|e| parse_failure(src, &e))
+}
+
+fn parse_failure(src: &str, err: &wlq::ParsePatternError) -> CliError {
+    // `main` prefixes the message with "error: ", which the renderer
+    // also emits — drop the renderer's copy.
+    let rendered = render_parse_error(src, err);
+    let msg = rendered.strip_prefix("error: ").unwrap_or(&rendered);
+    CliError::Parse(msg.trim_end().to_string())
 }
 
 fn cmd_simulate(args: &[String]) -> Result<(), CliError> {
@@ -266,8 +280,7 @@ fn cmd_query(args: &[String]) -> Result<(), CliError> {
         return Err(usage_err("usage: query <log-file> <pattern> [flags]"));
     };
     let log = read_log(path)?;
-    let mut query =
-        Query::parse(pattern_src).map_err(|e| CliError::Parse(format!("bad pattern: {e}")))?;
+    let mut query = Query::parse(pattern_src).map_err(|e| parse_failure(pattern_src, &e))?;
     let mut mode = "list";
     let mut iter = flags.iter();
     while let Some(flag) = iter.next() {
@@ -364,8 +377,7 @@ fn cmd_spans(args: &[String]) -> Result<(), CliError> {
         return Err(usage_err("usage: spans <log-file> <pattern>"));
     };
     let log = read_log(path)?;
-    let query =
-        Query::parse(pattern_src).map_err(|e| CliError::Parse(format!("bad pattern: {e}")))?;
+    let query = Query::parse(pattern_src).map_err(|e| parse_failure(pattern_src, &e))?;
     match query.span_stats(&log)? {
         Some(stats) => println!("{stats}"),
         None => println!("no incidents"),
@@ -400,9 +412,85 @@ fn cmd_mine(args: &[String]) -> Result<(), CliError> {
     Ok(())
 }
 
+/// `wlq check <pattern> …` — the static analyzer.
+///
+/// Exit code 0 when the pattern is clean (or has only allowed
+/// warnings/hints), 1 when a lint error fires or `--deny-warnings`
+/// upgrades a warning, 3 on parse errors.
 fn cmd_check(args: &[String]) -> Result<(), CliError> {
+    const USAGE: &str =
+        "usage: check <pattern> [--log <log-file>] [--format human|json] [--deny-warnings] [--cost-budget N]";
+    let [pattern_src, flags @ ..] = args else {
+        return Err(usage_err(USAGE));
+    };
+    let mut log_path: Option<&str> = None;
+    let mut format = "human";
+    let mut deny_warnings = false;
+    let mut cost_budget: Option<f64> = None;
+    let mut iter = flags.iter();
+    while let Some(flag) = iter.next() {
+        match flag.as_str() {
+            "--log" => {
+                log_path = Some(
+                    iter.next()
+                        .ok_or_else(|| usage_err("--log needs a file"))?
+                        .as_str(),
+                );
+            }
+            "--format" => {
+                format = iter
+                    .next()
+                    .ok_or_else(|| usage_err("--format needs `human` or `json`"))?
+                    .as_str();
+                if format != "human" && format != "json" {
+                    return Err(CliError::Usage(format!(
+                        "--format must be `human` or `json`, got {format:?}"
+                    )));
+                }
+            }
+            "--deny-warnings" => deny_warnings = true,
+            "--cost-budget" => {
+                let n: f64 = iter
+                    .next()
+                    .ok_or_else(|| usage_err("--cost-budget needs a number"))?
+                    .parse()
+                    .map_err(|_| usage_err("--cost-budget needs a number"))?;
+                cost_budget = Some(n);
+            }
+            other => return Err(CliError::Usage(format!("unknown flag {other:?}"))),
+        }
+    }
+    let mut analyzer = match log_path {
+        Some(path) => Analyzer::with_log(&read_log(path)?),
+        None => Analyzer::new(),
+    };
+    if let Some(budget) = cost_budget {
+        analyzer = analyzer.cost_budget(budget);
+    }
+    let report = analyzer
+        .analyze_source(pattern_src)
+        .map_err(|e| parse_failure(pattern_src, &e))?;
+    match format {
+        "json" => println!("{}", render_json(pattern_src, &report)),
+        _ => print!("{}", render_human(pattern_src, &report)),
+    }
+    let denied = report
+        .diagnostics
+        .iter()
+        .filter(|d| denies(d.severity, deny_warnings))
+        .count();
+    if denied > 0 {
+        Err(CliError::Domain(format!(
+            "check failed: {denied} denied diagnostic(s)"
+        )))
+    } else {
+        Ok(())
+    }
+}
+
+fn cmd_conform(args: &[String]) -> Result<(), CliError> {
     let [scenario, path] = args else {
-        return Err(usage_err("usage: check <scenario> <log-file>"));
+        return Err(usage_err("usage: conform <scenario> <log-file>"));
     };
     let model = scenario_model(scenario)?;
     let log = read_log(path)?;

@@ -15,6 +15,7 @@
 //! | Workflow engine | [`wlq_workflow`] | models, simulator, scenarios, generators |
 //! | Pattern algebra | [`wlq_pattern`] | AST, parser, laws (Theorems 2–5), optimizer |
 //! | Evaluation | [`wlq_engine`] | naive + optimized operators, trees, parallel, streaming |
+//! | Static analysis | [`wlq_analysis`] | span-anchored lints, unsatisfiability proofs, cost budget |
 //!
 //! ## Quick start
 //!
@@ -35,6 +36,10 @@
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
+pub use wlq_analysis::{
+    denies, line_col, render_human, render_json, render_parse_error, Analyzer, Diagnostic,
+    LintCode, Report, Severity, DEFAULT_COST_BUDGET,
+};
 pub use wlq_engine::{
     combine, combine_batch, combine_batch_into, equivalent_up_to, evaluate_parallel, fast_count,
     leaf_batch, leaf_incidents, mine_relations, timeline, BatchArena, BoundIncident, BoundedEquiv,
@@ -51,7 +56,8 @@ pub use wlq_pattern::{
     ac_equivalent, algebra, canonicalize, choice_normal_form, from_postfix, is_valid_pattern,
     optimize, random_pattern, rewrite, sequential_chain, theorem1_worst_case, to_postfix,
     to_symbolic, Atom, CmpOp, CostModel, Op, OptimizeReport, Optimizer, ParseErrorKind,
-    ParsePatternError, Pattern, PatternGenConfig, PostfixError, PostfixItem, Predicate, Scope,
+    ParsePatternError, Pattern, PatternGenConfig, PatternSpans, PostfixError, PostfixItem,
+    Predicate, Scope, Span, SpannedPattern,
 };
 pub use wlq_workflow::{
     generator, scenarios, simulate, ConformanceReport, DataEffect, ModelBuilder, ModelError,

@@ -296,11 +296,10 @@ impl Chain {
     /// Rebuilds the chain right-deep: `first op1 (x1 op2 (x2 …))`.
     #[must_use]
     pub fn right_deep(&self) -> Pattern {
-        if self.rest.is_empty() {
-            return self.first.clone();
-        }
         let mut iter = self.rest.iter().rev();
-        let (last_op, last) = iter.next().expect("nonempty");
+        let Some((last_op, last)) = iter.next() else {
+            return self.first.clone();
+        };
         let mut acc = last.clone();
         let mut pending_op = *last_op;
         for (op, operand) in iter {
@@ -356,9 +355,17 @@ pub fn flatten_chain(p: &Pattern) -> Chain {
             let mut items: Vec<(Option<Op>, Pattern)> = Vec::new();
             walk(p, *op, &mut items);
             let mut iter = items.into_iter();
-            let (_, first) = iter.next().expect("chain has at least one operand");
+            let Some((_, first)) = iter.next() else {
+                // Unreachable: `walk` pushes at least one operand.
+                return Chain {
+                    first: p.clone(),
+                    rest: Vec::new(),
+                };
+            };
+            // Interior operands are op-marked by `walk`; fall back to the
+            // chain's own operator if one were ever missing.
             let rest = iter
-                .map(|(op, operand)| (op.expect("interior operands are op-marked"), operand))
+                .map(|(marked, operand)| (marked.unwrap_or(*op), operand))
                 .collect();
             Chain { first, rest }
         }
@@ -392,12 +399,10 @@ pub fn canonicalize(p: &Pattern) -> Pattern {
                     .chain(rest.into_iter().map(|(_, q)| q))
                     .collect();
                 operands.sort();
-                let mut iter = operands.into_iter();
-                let mut acc = iter.next().expect("nonempty");
-                for q in iter {
-                    acc = Pattern::binary(*op, acc, q);
-                }
-                acc
+                operands
+                    .into_iter()
+                    .reduce(|acc, q| Pattern::binary(*op, acc, q))
+                    .unwrap_or_else(|| p.clone())
             } else {
                 Chain { first, rest }.left_deep()
             }

@@ -121,7 +121,7 @@ impl Pattern {
             }
         };
         let canonical = canonicalize(&simplified);
-        match &canonical {
+        match canonical {
             Pattern::Binary { op: Op::Choice, .. } => {
                 // Flatten the (already canonical, sorted) choice chain and
                 // drop duplicates.
@@ -130,9 +130,9 @@ impl Pattern {
                     .chain(chain.rest.into_iter().map(|(_, q)| q))
                     .collect();
                 operands.dedup();
-                Pattern::chain(Op::Choice, operands).expect("chain is nonempty")
+                Pattern::chain(Op::Choice, operands).unwrap_or(canonical)
             }
-            _ => canonical,
+            other => other,
         }
     }
 }

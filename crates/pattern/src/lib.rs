@@ -9,7 +9,8 @@
 //!
 //! * the [`Pattern`] AST and combinators,
 //! * a text syntax with a shunting-yard parser
-//!   ([`Pattern::parse`], [`to_postfix`], [`from_postfix`]),
+//!   ([`Pattern::parse`], [`to_postfix`], [`from_postfix`]), including a
+//!   span-preserving mode ([`Pattern::parse_spanned`]) for diagnostics,
 //! * the algebraic laws of Theorems 2–5 as rewrites ([`algebra`]),
 //!   reshaping utilities ([`rewrite`]), and
 //! * a cost-based optimizer built on those laws ([`optimize`]).
@@ -34,6 +35,7 @@ mod builders;
 mod display;
 mod error;
 mod parser;
+mod span;
 mod token;
 
 pub mod algebra;
@@ -52,4 +54,5 @@ pub use parser::is_valid_pattern;
 pub use random::{random_pattern, sequential_chain, theorem1_worst_case, PatternGenConfig};
 pub use rewrite::{choice_normal_form, from_alternatives};
 pub use shunting::{from_postfix, to_postfix, PostfixError, PostfixItem};
+pub use span::{PatternSpans, Span, SpannedPattern};
 pub use token::{tokenize, Spanned, Token};

@@ -226,8 +226,9 @@ impl Optimizer {
     /// Sorts the operands of a `⊗`/`⊕` chain by estimated incident count,
     /// smallest first (Theorems 2 + 3 make any order equivalent).
     fn order_commutative(&self, op: Op, chain: Chain, decisions: &mut Vec<String>) -> Pattern {
-        let mut operands: Vec<Pattern> = std::iter::once(chain.first)
-            .chain(chain.rest.into_iter().map(|(_, q)| q))
+        let Chain { first, rest } = chain;
+        let mut operands: Vec<Pattern> = std::iter::once(first.clone())
+            .chain(rest.into_iter().map(|(_, q)| q))
             .collect();
         let before: Vec<String> = operands.iter().map(ToString::to_string).collect();
         operands.sort_by(|a, b| {
@@ -243,12 +244,10 @@ impl Optimizer {
                 after.join(&format!(" {} ", op.ascii()))
             ));
         }
-        let mut iter = operands.into_iter();
-        let mut acc = iter.next().expect("chains are nonempty");
-        for q in iter {
-            acc = Pattern::binary(op, acc, q);
-        }
-        acc
+        operands
+            .into_iter()
+            .reduce(|acc, q| Pattern::binary(op, acc, q))
+            .unwrap_or(first)
     }
 
     /// Matrix-chain-style DP over a `{⊙, →}` chain: choose the

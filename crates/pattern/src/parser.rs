@@ -2,9 +2,9 @@
 
 use wlq_log::Value;
 
-use crate::ast::{Atom, Pattern, Predicate, Scope};
+use crate::ast::{Atom, Op, Pattern, Predicate, Scope};
 use crate::error::{ParseErrorKind, ParsePatternError};
-use crate::shunting::{from_postfix, PostfixItem};
+use crate::span::{PatternSpans, Span, SpannedPattern};
 use crate::token::{tokenize, Spanned, Token};
 
 impl Pattern {
@@ -34,6 +34,26 @@ impl Pattern {
     /// # Ok::<(), wlq_pattern::ParsePatternError>(())
     /// ```
     pub fn parse(src: &str) -> Result<Pattern, ParsePatternError> {
+        Pattern::parse_spanned(src).map(|sp| sp.pattern)
+    }
+
+    /// Parses a pattern keeping the source span of every AST node.
+    ///
+    /// The returned [`SpannedPattern`] pairs the pattern with a
+    /// [`PatternSpans`] tree of identical shape, so tools (the analyzer,
+    /// caret-rendered errors) can point any node back into `src`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParsePatternError`] with a byte offset on malformed input.
+    ///
+    /// ```
+    /// use wlq_pattern::Pattern;
+    /// let sp = Pattern::parse_spanned("A -> (B | C)")?;
+    /// assert_eq!(sp.spans.span().slice("A -> (B | C)"), "A -> (B | C)");
+    /// # Ok::<(), wlq_pattern::ParsePatternError>(())
+    /// ```
+    pub fn parse_spanned(src: &str) -> Result<SpannedPattern, ParsePatternError> {
         let tokens = tokenize(src)?;
         Parser {
             tokens,
@@ -58,6 +78,16 @@ struct Parser {
     src_len: usize,
 }
 
+/// A postfix item carrying the source spans the fold needs: atoms and
+/// operators with their extents, plus paren-widening markers.
+enum SpItem {
+    Atom(Atom, Span),
+    Op(Op, Span),
+    /// Widen the span of the expression on top of the stack to include
+    /// the parentheses that just closed around it.
+    Widen(Span),
+}
+
 impl Parser {
     fn peek(&self) -> Option<&Spanned> {
         self.tokens.get(self.pos)
@@ -75,59 +105,74 @@ impl Parser {
         ParsePatternError::new(self.src_len, ParseErrorKind::UnexpectedEnd)
     }
 
-    /// Shunting-yard over the token stream, emitting postfix items.
-    fn parse_all(mut self) -> Result<Pattern, ParsePatternError> {
+    /// End offset of the most recently consumed token.
+    fn last_end(&self) -> usize {
+        self.pos
+            .checked_sub(1)
+            .and_then(|i| self.tokens.get(i))
+            .map_or(self.src_len, |s| s.end)
+    }
+
+    /// Shunting-yard over the token stream, emitting spanned postfix items.
+    fn parse_all(mut self) -> Result<SpannedPattern, ParsePatternError> {
         if self.tokens.is_empty() {
             return Err(ParsePatternError::new(0, ParseErrorKind::EmptyInput));
         }
-        let mut output: Vec<PostfixItem> = Vec::new();
-        // Operator stack holds operators and open parens (None = paren).
-        let mut ops: Vec<(Option<crate::ast::Op>, usize)> = Vec::new();
+        let mut output: Vec<SpItem> = Vec::new();
+        // Operator stack holds operators and open parens (None = paren),
+        // each with the span of its token.
+        let mut ops: Vec<(Option<Op>, Span)> = Vec::new();
         let mut expect_operand = true;
 
         while let Some(spanned) = self.peek().cloned() {
+            let tok_span = Span::new(spanned.pos, spanned.end);
             match (&spanned.token, expect_operand) {
                 (Token::Not | Token::Ident(_), true) => {
-                    let atom = self.parse_atom()?;
-                    output.push(PostfixItem::Atom(atom));
+                    let (atom, span) = self.parse_atom()?;
+                    output.push(SpItem::Atom(atom, span));
                     expect_operand = false;
                 }
                 (Token::LParen, true) => {
                     self.next();
-                    ops.push((None, spanned.pos));
+                    ops.push((None, tok_span));
                 }
                 (Token::RParen, false) => {
                     self.next();
-                    let mut matched = false;
-                    while let Some((op, _)) = ops.pop() {
+                    let mut opened = None;
+                    while let Some((op, span)) = ops.pop() {
                         match op {
-                            Some(op) => output.push(PostfixItem::Op(op)),
+                            Some(op) => output.push(SpItem::Op(op, span)),
                             None => {
-                                matched = true;
+                                opened = Some(span);
                                 break;
                             }
                         }
                     }
-                    if !matched {
-                        return Err(ParsePatternError::new(
-                            spanned.pos,
-                            ParseErrorKind::UnbalancedParen,
-                        ));
+                    match opened {
+                        // The last output item is the root of the group
+                        // that just closed; stretch it over the parens.
+                        Some(open) => output.push(SpItem::Widen(open.union(tok_span))),
+                        None => {
+                            return Err(ParsePatternError::new(
+                                spanned.pos,
+                                ParseErrorKind::UnbalancedParen,
+                            ))
+                        }
                     }
                 }
                 (Token::Op(op), false) => {
                     self.next();
-                    while let Some(&(Some(top), _)) = ops.last() {
+                    while let Some(&(Some(top), top_span)) = ops.last() {
                         // Left-associative: pop while top binds at least as
                         // tightly.
                         if top.precedence() >= op.precedence() {
-                            output.push(PostfixItem::Op(top));
+                            output.push(SpItem::Op(top, top_span));
                             ops.pop();
                         } else {
                             break;
                         }
                     }
-                    ops.push((Some(*op), spanned.pos));
+                    ops.push((Some(*op), tok_span));
                     expect_operand = true;
                 }
                 (tok, _) => {
@@ -141,17 +186,68 @@ impl Parser {
         if expect_operand {
             return Err(self.err_end());
         }
-        while let Some((op, pos)) = ops.pop() {
+        while let Some((op, span)) = ops.pop() {
             match op {
-                Some(op) => output.push(PostfixItem::Op(op)),
-                None => return Err(ParsePatternError::new(pos, ParseErrorKind::UnbalancedParen)),
+                Some(op) => output.push(SpItem::Op(op, span)),
+                None => {
+                    return Err(ParsePatternError::new(
+                        span.start,
+                        ParseErrorKind::UnbalancedParen,
+                    ))
+                }
             }
         }
-        from_postfix(output).map_err(|_| self.err_end())
+        self.fold(output)
+    }
+
+    /// Folds the spanned postfix stream into a pattern plus its span
+    /// tree. The shunting-yard invariants make underflow unreachable,
+    /// but every pop is still checked so the parser cannot panic.
+    fn fold(&self, items: Vec<SpItem>) -> Result<SpannedPattern, ParsePatternError> {
+        let mut stack: Vec<(Pattern, PatternSpans)> = Vec::new();
+        for item in items {
+            match item {
+                SpItem::Atom(atom, span) => {
+                    stack.push((Pattern::Atom(atom), PatternSpans::Atom { span }));
+                }
+                SpItem::Op(op, op_span) => {
+                    let Some((right, right_spans)) = stack.pop() else {
+                        return Err(self.err_end());
+                    };
+                    let Some((left, left_spans)) = stack.pop() else {
+                        return Err(self.err_end());
+                    };
+                    let span = left_spans.span().union(right_spans.span()).union(op_span);
+                    stack.push((
+                        Pattern::binary(op, left, right),
+                        PatternSpans::Binary {
+                            span,
+                            op_span,
+                            left: Box::new(left_spans),
+                            right: Box::new(right_spans),
+                        },
+                    ));
+                }
+                SpItem::Widen(outer) => {
+                    if let Some((_, spans)) = stack.last_mut() {
+                        spans.widen(outer);
+                    }
+                }
+            }
+        }
+        let Some((pattern, spans)) = stack.pop() else {
+            return Err(self.err_end());
+        };
+        if stack.is_empty() {
+            Ok(SpannedPattern { pattern, spans })
+        } else {
+            Err(self.err_end())
+        }
     }
 
     /// `'!'? ident predicates?`
-    fn parse_atom(&mut self) -> Result<Atom, ParsePatternError> {
+    fn parse_atom(&mut self) -> Result<(Atom, Span), ParsePatternError> {
+        let start = self.peek().map_or(self.src_len, |s| s.pos);
         let mut negated = false;
         if matches!(self.peek().map(|s| &s.token), Some(Token::Not)) {
             self.next();
@@ -179,7 +275,7 @@ impl Parser {
             self.next();
             atom.predicates = self.parse_predicates()?;
         }
-        Ok(atom)
+        Ok((atom, Span::new(start, self.last_end())))
     }
 
     /// Parses `clause (',' clause)* ']'` — the opening `[` is consumed.
@@ -216,6 +312,7 @@ impl Parser {
             Some(Spanned {
                 token: Token::Ident(n),
                 pos,
+                ..
             }) => (pos, n),
             Some(s) => {
                 return Err(ParsePatternError::new(
@@ -501,5 +598,79 @@ mod tests {
     #[test]
     fn double_negation_is_a_syntax_error() {
         assert!(Pattern::parse("!!A").is_err());
+    }
+
+    #[test]
+    fn spanned_atoms_cover_negation_and_predicates() {
+        let src = "!CheckIn ~> GetRefer[out.balance >= 5000]";
+        let sp = Pattern::parse_spanned(src).unwrap();
+        let PatternSpans::Binary {
+            op_span,
+            left,
+            right,
+            span,
+        } = &sp.spans
+        else {
+            panic!("expected binary span tree");
+        };
+        assert_eq!(left.span().slice(src), "!CheckIn");
+        assert_eq!(op_span.slice(src), "~>");
+        assert_eq!(right.span().slice(src), "GetRefer[out.balance >= 5000]");
+        assert_eq!(span.slice(src), src);
+    }
+
+    #[test]
+    fn spanned_parens_widen_the_inner_node() {
+        let src = "A -> (B | C)";
+        let sp = Pattern::parse_spanned(src).unwrap();
+        let PatternSpans::Binary { right, .. } = &sp.spans else {
+            panic!("expected binary span tree");
+        };
+        assert_eq!(right.span().slice(src), "(B | C)");
+        let PatternSpans::Binary { left, right, .. } = right.as_ref() else {
+            panic!("expected inner binary");
+        };
+        assert_eq!(left.span().slice(src), "B");
+        assert_eq!(right.span().slice(src), "C");
+    }
+
+    #[test]
+    fn spanned_tree_mirrors_pattern_shape() {
+        for src in [
+            "A",
+            "(A)",
+            "((A))",
+            "A ~> B -> C | D & E",
+            "(A | B) -> C & !D",
+            "SeeDoctor -> (UpdateRefer -> GetReimburse)",
+        ] {
+            let sp = Pattern::parse_spanned(src).unwrap();
+            assert_eq!(sp.pattern, parse(src));
+            fn check(p: &Pattern, s: &PatternSpans) {
+                match (p, s) {
+                    (Pattern::Atom(_), PatternSpans::Atom { .. }) => {}
+                    (
+                        Pattern::Binary { left, right, .. },
+                        PatternSpans::Binary {
+                            left: sl,
+                            right: sr,
+                            ..
+                        },
+                    ) => {
+                        check(left, sl);
+                        check(right, sr);
+                    }
+                    _ => panic!("shape mismatch for {p}"),
+                }
+            }
+            check(&sp.pattern, &sp.spans);
+        }
+    }
+
+    #[test]
+    fn spanned_children_accessor() {
+        let sp = Pattern::parse_spanned("A -> B").unwrap();
+        assert_eq!(sp.spans.children().len(), 2);
+        assert!(sp.spans.children()[0].children().is_empty());
     }
 }

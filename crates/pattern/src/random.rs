@@ -47,14 +47,16 @@ pub fn random_pattern<R: Rng + ?Sized>(rng: &mut R, config: &PatternGenConfig) -
 
 fn gen<R: Rng + ?Sized>(rng: &mut R, config: &PatternGenConfig, depth: usize) -> Pattern {
     if depth <= 1 || !rng.gen_bool(config.branch_prob) {
-        let name = config.alphabet.choose(rng).expect("nonempty alphabet");
+        // `random_pattern` asserts nonemptiness; the fallback keeps the
+        // recursion panic-free regardless.
+        let name = config.alphabet.choose(rng).map_or("T", String::as_str);
         return if rng.gen_bool(config.negation_prob) {
-            Pattern::not_atom(name.as_str())
+            Pattern::not_atom(name)
         } else {
-            Pattern::atom(name.as_str())
+            Pattern::atom(name)
         };
     }
-    let op = *config.ops.choose(rng).expect("nonempty ops");
+    let op = config.ops.choose(rng).copied().unwrap_or(Op::Sequential);
     Pattern::binary(op, gen(rng, config, depth - 1), gen(rng, config, depth - 1))
 }
 
@@ -83,9 +85,9 @@ pub fn theorem1_worst_case(activity: &str, k: usize) -> Pattern {
 /// Panics if `activities` is empty.
 #[must_use]
 pub fn sequential_chain(activities: &[&str]) -> Pattern {
-    let mut iter = activities.iter();
-    let mut p = Pattern::atom(*iter.next().expect("nonempty"));
-    for a in iter {
+    assert!(!activities.is_empty(), "activities must be nonempty");
+    let mut p = Pattern::atom(activities.first().copied().unwrap_or("T"));
+    for a in activities.iter().skip(1) {
         p = p.seq(Pattern::atom(*a));
     }
     p

@@ -95,10 +95,13 @@ pub fn from_postfix(items: impl IntoIterator<Item = PostfixItem>) -> Result<Patt
             }
         }
     }
-    match stack.len() {
-        0 => Err(PostfixError::Empty),
-        1 => Ok(stack.pop().expect("len checked")),
-        _ => Err(PostfixError::ExtraOperands),
+    let Some(result) = stack.pop() else {
+        return Err(PostfixError::Empty);
+    };
+    if stack.is_empty() {
+        Ok(result)
+    } else {
+        Err(PostfixError::ExtraOperands)
     }
 }
 

@@ -1,0 +1,162 @@
+//! Source spans for patterns: byte ranges tying every AST node back to
+//! the text it was parsed from.
+//!
+//! [`Pattern::parse_spanned`](crate::Pattern::parse_spanned) returns a
+//! [`SpannedPattern`]: the pattern plus a [`PatternSpans`] tree that
+//! mirrors its shape node for node. Diagnostics (the `wlq-analysis`
+//! crate, CLI caret rendering) walk the two trees in lockstep so every
+//! finding can point into the source.
+
+use std::fmt;
+
+/// A half-open byte range `[start, end)` into the pattern source text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Span {
+    /// Byte offset of the first character.
+    pub start: usize,
+    /// Byte offset one past the last character.
+    pub end: usize,
+}
+
+impl Span {
+    /// Builds a span from its byte bounds.
+    #[must_use]
+    pub fn new(start: usize, end: usize) -> Self {
+        Span {
+            start,
+            end: end.max(start),
+        }
+    }
+
+    /// The smallest span covering both `self` and `other`.
+    #[must_use]
+    pub fn union(self, other: Span) -> Span {
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+        }
+    }
+
+    /// The length of the spanned text in bytes.
+    #[must_use]
+    pub fn len(self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether the span covers no text.
+    #[must_use]
+    pub fn is_empty(self) -> bool {
+        self.start == self.end
+    }
+
+    /// The spanned slice of `src`, or `""` when out of range (a span
+    /// from one source applied to another).
+    #[must_use]
+    pub fn slice(self, src: &str) -> &str {
+        src.get(self.start..self.end).unwrap_or("")
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}..{}", self.start, self.end)
+    }
+}
+
+/// A tree of source spans with the same shape as the pattern it was
+/// parsed alongside: one node per [`Pattern`](crate::Pattern) node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PatternSpans {
+    /// Span of an atom, covering `!name[preds]` including negation and
+    /// predicate brackets.
+    Atom {
+        /// The atom's full extent.
+        span: Span,
+    },
+    /// Spans of a binary node.
+    Binary {
+        /// Full extent of the subexpression (both operands and the
+        /// operator, widened to enclosing parentheses).
+        span: Span,
+        /// The operator token itself (`~>`, `->`, `|`, `&` or a glyph).
+        op_span: Span,
+        /// Spans of the left operand subtree.
+        left: Box<PatternSpans>,
+        /// Spans of the right operand subtree.
+        right: Box<PatternSpans>,
+    },
+}
+
+impl PatternSpans {
+    /// The full extent of this node.
+    #[must_use]
+    pub fn span(&self) -> Span {
+        match self {
+            PatternSpans::Atom { span } | PatternSpans::Binary { span, .. } => *span,
+        }
+    }
+
+    /// Widens this node's extent to include `outer` (used when a
+    /// parenthesized group closes around it).
+    pub(crate) fn widen(&mut self, outer: Span) {
+        match self {
+            PatternSpans::Atom { span } | PatternSpans::Binary { span, .. } => {
+                *span = span.union(outer);
+            }
+        }
+    }
+
+    /// The children of this node, left then right (empty for atoms).
+    #[must_use]
+    pub fn children(&self) -> Vec<&PatternSpans> {
+        match self {
+            PatternSpans::Atom { .. } => Vec::new(),
+            PatternSpans::Binary { left, right, .. } => vec![left, right],
+        }
+    }
+}
+
+/// A parsed pattern together with the span tree tying each node back to
+/// the source text.
+///
+/// ```
+/// use wlq_pattern::Pattern;
+/// let sp = Pattern::parse_spanned("SeeDoctor -> PayTreatment")?;
+/// assert_eq!(sp.spans.span().slice("SeeDoctor -> PayTreatment"),
+///            "SeeDoctor -> PayTreatment");
+/// # Ok::<(), wlq_pattern::ParsePatternError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpannedPattern {
+    /// The parsed pattern.
+    pub pattern: crate::ast::Pattern,
+    /// The mirror tree of source spans.
+    pub spans: PatternSpans,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn union_and_len() {
+        let a = Span::new(2, 5);
+        let b = Span::new(7, 9);
+        assert_eq!(a.union(b), Span::new(2, 9));
+        assert_eq!(b.union(a), Span::new(2, 9));
+        assert_eq!(a.len(), 3);
+        assert!(!a.is_empty());
+        assert!(Span::new(4, 4).is_empty());
+    }
+
+    #[test]
+    fn new_clamps_inverted_bounds() {
+        assert_eq!(Span::new(5, 2), Span::new(5, 5));
+    }
+
+    #[test]
+    fn slice_is_total() {
+        assert_eq!(Span::new(2, 4).slice("abcdef"), "cd");
+        assert_eq!(Span::new(2, 40).slice("abc"), "");
+    }
+}

@@ -61,13 +61,15 @@ impl Token {
     }
 }
 
-/// A token plus the byte offset where it starts.
+/// A token plus the byte offsets where it starts and ends.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Spanned {
     /// The token.
     pub token: Token,
-    /// Byte offset in the source.
+    /// Byte offset in the source where the token starts.
     pub pos: usize,
+    /// Byte offset just past the token's last character.
+    pub end: usize,
 }
 
 /// Tokenizes pattern text.
@@ -162,7 +164,14 @@ pub fn tokenize(src: &str) -> Result<Vec<Spanned>, ParsePatternError> {
                 ))
             }
         };
-        out.push(Spanned { token: tok, pos });
+        // After lexing, `i` points at the first unconsumed character, whose
+        // offset is exactly one past the token's last byte.
+        let end = bytes.get(i).map_or(src.len(), |&(p, _)| p);
+        out.push(Spanned {
+            token: tok,
+            pos,
+            end,
+        });
     }
     Ok(out)
 }
@@ -354,6 +363,19 @@ mod tests {
         assert_eq!(spanned[0].pos, 0);
         assert_eq!(spanned[1].pos, 2);
         assert_eq!(spanned[2].pos, 5);
+    }
+
+    #[test]
+    fn end_offsets_cover_the_token_text() {
+        let src = "Abc ~> B[x >= 10]";
+        for s in tokenize(src).unwrap() {
+            assert!(s.pos < s.end, "{:?}", s.token);
+            assert!(s.end <= src.len());
+        }
+        let spanned = tokenize("Abc -> B").unwrap();
+        assert_eq!((spanned[0].pos, spanned[0].end), (0, 3));
+        assert_eq!((spanned[1].pos, spanned[1].end), (4, 6));
+        assert_eq!((spanned[2].pos, spanned[2].end), (7, 8));
     }
 
     #[test]

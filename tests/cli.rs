@@ -30,7 +30,8 @@ fn help_lists_all_commands() {
     assert!(out.status.success());
     let text = stdout(&out);
     for cmd in [
-        "simulate", "stats", "validate", "query", "explain", "mine", "check", "convert", "dot",
+        "simulate", "stats", "validate", "query", "explain", "mine", "check", "conform", "convert",
+        "dot",
     ] {
         assert!(text.contains(cmd), "help is missing {cmd}");
     }
@@ -114,7 +115,9 @@ fn query_flags_and_modes() {
 
     let out = wlq(&["query", path_str, "Submit ->", "--count"]);
     assert!(!out.status.success());
-    assert!(stderr(&out).contains("bad pattern"));
+    // Parse errors point a caret at the offending position.
+    assert!(stderr(&out).contains("Submit ->"), "{}", stderr(&out));
+    assert!(stderr(&out).contains('^'), "{}", stderr(&out));
 
     std::fs::remove_file(&path).ok();
 }
@@ -161,19 +164,19 @@ fn explain_and_mine_render_reports() {
 }
 
 #[test]
-fn check_detects_conforming_and_violating_logs() {
+fn conform_detects_conforming_and_violating_logs() {
     let path = temp_path("conform.csv");
     let path_str = path.to_str().unwrap();
     assert!(wlq(&["simulate", "order", "6", "2", path_str])
         .status
         .success());
 
-    let out = wlq(&["check", "order", path_str]);
+    let out = wlq(&["conform", "order", path_str]);
     assert!(out.status.success(), "{}", stderr(&out));
     assert!(stdout(&out).contains("log conforms"));
 
     // The clinic model does not accept order-fulfillment traces.
-    let out = wlq(&["check", "clinic", path_str]);
+    let out = wlq(&["conform", "clinic", path_str]);
     assert!(!out.status.success());
     assert!(stderr(&out).contains("violate"));
 
@@ -313,12 +316,92 @@ fn exit_codes_distinguish_pattern_rule_and_domain_failures() {
     std::fs::remove_file(&rules).ok();
 
     // 1 — domain failure: the log violates the checked model.
-    let out = wlq(&["check", "order", p]);
+    let out = wlq(&["conform", "order", p]);
     assert_eq!(out.status.code(), Some(1), "{}", stderr(&out));
     assert!(stderr(&out).contains("violate"));
 
     // 0 — and the same log conforms to its own model.
-    assert_eq!(wlq(&["check", "clinic", p]).status.code(), Some(0));
+    assert_eq!(wlq(&["conform", "clinic", p]).status.code(), Some(0));
+
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn check_reports_lints_with_carets_and_exit_codes() {
+    // A clean pattern exits 0 and reports zero findings.
+    let out = wlq(&["check", "SeeDoctor -> PayTreatment"]);
+    assert_eq!(out.status.code(), Some(0), "{}", stderr(&out));
+    assert!(stdout(&out).contains("0 error(s), 0 warning(s), 0 hint(s)"));
+
+    // An unsatisfiable pattern exits 1 with a span-anchored error.
+    let out = wlq(&["check", "CheckIn -> START"]);
+    assert_eq!(out.status.code(), Some(1), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("error[WLQ001]"), "{text}");
+    assert!(text.contains("CheckIn -> START"), "{text}");
+    assert!(text.contains("^^^^^"), "{text}");
+    assert!(text.contains("pattern is unsatisfiable"), "{text}");
+
+    // Warnings pass by default but fail under --deny-warnings.
+    let out = wlq(&["check", "A | A"]);
+    assert_eq!(out.status.code(), Some(0), "{}", stderr(&out));
+    assert!(stdout(&out).contains("warning[WLQ102]"));
+    let out = wlq(&["check", "A | A", "--deny-warnings"]);
+    assert_eq!(out.status.code(), Some(1), "{}", stderr(&out));
+
+    // Hints never fail, even under --deny-warnings.
+    let out = wlq(&["check", "A & A", "--deny-warnings"]);
+    assert_eq!(out.status.code(), Some(0), "{}", stderr(&out));
+    assert!(stdout(&out).contains("hint[WLQ103]"));
+
+    // A parse error exits 3 with a caret.
+    let out = wlq(&["check", "A -> "]);
+    assert_eq!(out.status.code(), Some(3), "{}", stderr(&out));
+    assert!(stderr(&out).contains('^'), "{}", stderr(&out));
+
+    // Unknown flags are usage errors.
+    assert_eq!(wlq(&["check", "A", "--bogus"]).status.code(), Some(2));
+    assert_eq!(wlq(&["check"]).status.code(), Some(2));
+}
+
+#[test]
+fn check_with_log_and_json_output() {
+    let path = temp_path("check.csv");
+    let p = path.to_str().unwrap();
+    assert!(wlq(&["simulate", "clinic", "10", "5", p]).status.success());
+
+    // Log-aware lint: an activity the log never records.
+    let out = wlq(&["check", "NoSuchStep ~> SeeDoctor", "--log", p]);
+    assert_eq!(out.status.code(), Some(0), "{}", stderr(&out));
+    assert!(stdout(&out).contains("warning[WLQ101]"), "{}", stdout(&out));
+
+    // JSON output is a single line with the stable envelope.
+    let out = wlq(&[
+        "check",
+        "NoSuchStep ~> SeeDoctor",
+        "--log",
+        p,
+        "--format",
+        "json",
+    ]);
+    assert_eq!(out.status.code(), Some(0), "{}", stderr(&out));
+    let json = stdout(&out);
+    assert_eq!(json.trim().lines().count(), 1);
+    assert!(json.starts_with("{\"version\":1,"), "{json}");
+    assert!(json.contains("\"code\":\"WLQ101\""), "{json}");
+    assert!(json.contains("\"unsatisfiable\":false"), "{json}");
+
+    // A tiny cost budget triggers WLQ105 with a rewrite suggestion.
+    let out = wlq(&[
+        "check",
+        "SeeDoctor -> PayTreatment",
+        "--log",
+        p,
+        "--cost-budget",
+        "1",
+    ]);
+    assert_eq!(out.status.code(), Some(0), "{}", stderr(&out));
+    assert!(stdout(&out).contains("warning[WLQ105]"), "{}", stdout(&out));
 
     std::fs::remove_file(&path).ok();
 }
