@@ -6,7 +6,11 @@
 //! wlq validate <log-file>
 //! wlq query    <log-file> <pattern> [--count|--exists|--by-instance]
 //!              [--naive] [--no-optimize] [--threads N]
-//! wlq explain  <log-file> <pattern> [--plan]
+//!              [--profile] [--trace-out <trace-file>]
+//! wlq explain  <log-file> <pattern> [--plan|--analyze]
+//!              [--threads N] [--trace-out <trace-file>]
+//! wlq explain  --analyze <pattern> --log <log-file>
+//! wlq trace-check <trace-file>
 //! wlq timeline <log-file> <pattern> [step]
 //! wlq spans    <log-file> <pattern>
 //! wlq mine     <log-file> [min-support]
@@ -39,9 +43,9 @@ use std::fmt;
 use std::process::ExitCode;
 
 use wlq::{
-    denies, io, mine_relations, render_human, render_json, render_parse_error, scenarios, simulate,
-    Analyzer, EngineError, Explain, Log, LogStats, Pattern, Query, SimulationConfig, Strategy,
-    WorkflowModel,
+    denies, io, mine_relations, profile_evaluation, render_human, render_json, render_parse_error,
+    render_trace, scenarios, simulate, validate_trace, Analyzer, EngineError, ExecutionProfile,
+    Explain, Log, LogStats, Pattern, Query, SimulationConfig, Strategy, WorkflowModel,
 };
 
 /// A CLI failure, categorised for its exit code.
@@ -122,6 +126,7 @@ fn run(args: &[String]) -> Result<(), CliError> {
         "validate" => cmd_validate(&args[1..]),
         "query" => cmd_query(&args[1..]),
         "explain" => cmd_explain(&args[1..]),
+        "trace-check" => cmd_trace_check(&args[1..]),
         "timeline" => cmd_timeline(&args[1..]),
         "spans" => cmd_spans(&args[1..]),
         "mine" => cmd_mine(&args[1..]),
@@ -142,7 +147,10 @@ fn usage() -> String {
      \x20 stats    <log-file>\n\
      \x20 validate <log-file>\n\
      \x20 query    <log-file> <pattern> [--count|--exists|--by-instance] [--naive] [--no-optimize] [--threads N]\n\
-     \x20 explain  <log-file> <pattern> [--plan]\n\
+     \x20          [--profile] [--trace-out <trace-file>]\n\
+     \x20 explain  <log-file> <pattern> [--plan|--analyze] [--threads N] [--trace-out <trace-file>]\n\
+     \x20          (--analyze also accepts: explain --analyze <pattern> --log <log-file>)\n\
+     \x20 trace-check <trace-file>\n\
      \x20 timeline <log-file> <pattern> [step]\n\
      \x20 spans    <log-file> <pattern>\n\
      \x20 mine     <log-file> [min-support]\n\
@@ -282,13 +290,20 @@ fn cmd_query(args: &[String]) -> Result<(), CliError> {
     let log = read_log(path)?;
     let mut query = Query::parse(pattern_src).map_err(|e| parse_failure(pattern_src, &e))?;
     let mut mode = "list";
+    let mut naive = false;
+    let mut threads = 1usize;
+    let mut profile = false;
+    let mut trace_out: Option<&str> = None;
     let mut iter = flags.iter();
     while let Some(flag) = iter.next() {
         match flag.as_str() {
             "--count" => mode = "count",
             "--exists" => mode = "exists",
             "--by-instance" => mode = "by-instance",
-            "--naive" => query = query.strategy(Strategy::NaivePaper),
+            "--naive" => {
+                naive = true;
+                query = query.strategy(Strategy::NaivePaper);
+            }
             "--no-optimize" => query = query.optimize(false),
             "--threads" => {
                 let n: usize = iter
@@ -296,10 +311,62 @@ fn cmd_query(args: &[String]) -> Result<(), CliError> {
                     .ok_or_else(|| usage_err("--threads needs a number"))?
                     .parse()
                     .map_err(|_| usage_err("--threads needs a number"))?;
+                threads = n;
                 query = query.threads(n);
+            }
+            "--profile" => profile = true,
+            "--trace-out" => {
+                trace_out = Some(
+                    iter.next()
+                        .ok_or_else(|| usage_err("--trace-out needs a file"))?
+                        .as_str(),
+                );
             }
             other => return Err(CliError::Usage(format!("unknown flag {other:?}"))),
         }
+    }
+    if trace_out.is_some() && !profile {
+        return Err(usage_err("--trace-out requires --profile"));
+    }
+    if profile {
+        // The profiled path evaluates the pattern as written (the
+        // planner still applies its own rewrites under the default
+        // strategy) and answers the same mode from the returned set.
+        let pattern = parse_pattern(pattern_src)?;
+        let strategy = if naive {
+            Strategy::NaivePaper
+        } else {
+            Strategy::default()
+        };
+        let (incidents, profile) = profile_evaluation(&log, &pattern, strategy, threads)?;
+        match mode {
+            "count" => println!("{}", incidents.len()),
+            "exists" => println!("{}", !incidents.is_empty()),
+            "by-instance" => {
+                for (wid, count) in incidents.counts_by_wid() {
+                    println!("wid {wid}: {count}");
+                }
+            }
+            _ => {
+                println!(
+                    "{} incident(s) in {} instance(s)",
+                    incidents.len(),
+                    incidents.num_matched_instances()
+                );
+                for incident in incidents.iter().take(50) {
+                    println!("  {incident}");
+                }
+                if incidents.len() > 50 {
+                    println!("  … {} more", incidents.len() - 50);
+                }
+            }
+        }
+        println!();
+        print!("{profile}");
+        if let Some(out) = trace_out {
+            write_trace(&profile, out)?;
+        }
+        return Ok(());
     }
     match mode {
         "count" => println!("{}", query.count(&log)?),
@@ -328,18 +395,114 @@ fn cmd_query(args: &[String]) -> Result<(), CliError> {
 }
 
 fn cmd_explain(args: &[String]) -> Result<(), CliError> {
-    let (path, pattern_src, strategy) = match args {
-        [path, pattern] => (path, pattern, Strategy::Optimized),
-        // --plan: run under the cost-based planner and print the chosen
-        // physical operator tree alongside the estimate/actual table.
-        [path, pattern, flag] if flag == "--plan" => (path, pattern, Strategy::Planned),
-        _ => return Err(usage_err("usage: explain <log-file> <pattern> [--plan]")),
+    const USAGE: &str = "usage: explain <log-file> <pattern> [--plan|--analyze] \
+                         [--threads N] [--trace-out <trace-file>] \
+                         (or: explain --analyze <pattern> --log <log-file>)";
+    let mut positional: Vec<&str> = Vec::new();
+    let mut plan = false;
+    let mut analyze = false;
+    let mut log_path: Option<&str> = None;
+    let mut threads = 1usize;
+    let mut trace_out: Option<&str> = None;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            // --plan: run under the cost-based planner and print the
+            // chosen physical operator tree alongside the
+            // estimate/actual table.
+            "--plan" => plan = true,
+            // --analyze: actually execute the plan and print per-node
+            // actuals (rows, pairs, bytes, wall time) next to the
+            // planner's estimates, with a Q-error column.
+            "--analyze" => analyze = true,
+            "--log" => {
+                log_path = Some(
+                    iter.next()
+                        .ok_or_else(|| usage_err("--log needs a file"))?
+                        .as_str(),
+                );
+            }
+            "--threads" => {
+                threads = iter
+                    .next()
+                    .ok_or_else(|| usage_err("--threads needs a number"))?
+                    .parse()
+                    .map_err(|_| usage_err("--threads needs a number"))?;
+            }
+            "--trace-out" => {
+                trace_out = Some(
+                    iter.next()
+                        .ok_or_else(|| usage_err("--trace-out needs a file"))?
+                        .as_str(),
+                );
+            }
+            flag if flag.starts_with("--") => {
+                return Err(CliError::Usage(format!("unknown flag {flag:?}")))
+            }
+            other => positional.push(other),
+        }
+    }
+    if plan && analyze {
+        return Err(usage_err("--plan and --analyze are mutually exclusive"));
+    }
+    if trace_out.is_some() && !analyze {
+        return Err(usage_err("--trace-out requires --analyze"));
+    }
+    let (path, pattern_src) = match (log_path, positional.as_slice()) {
+        (Some(path), [pattern]) => (path, *pattern),
+        (None, [path, pattern]) => (*path, *pattern),
+        _ => return Err(usage_err(USAGE)),
     };
     let log = read_log(path)?;
     let pattern = parse_pattern(pattern_src)?;
+    if analyze {
+        let (_, profile) = profile_evaluation(&log, &pattern, Strategy::default(), threads)?;
+        print!("{profile}");
+        if let Some(out) = trace_out {
+            write_trace(&profile, out)?;
+        }
+        return Ok(());
+    }
+    let strategy = if plan {
+        Strategy::Planned
+    } else {
+        Strategy::Optimized
+    };
     let explain = Explain::run(&log, &pattern, true, strategy);
     print!("{explain}");
     Ok(())
+}
+
+/// Writes a profile's JSON Lines trace to `path` and confirms.
+fn write_trace(profile: &ExecutionProfile, path: &str) -> Result<(), CliError> {
+    let trace = render_trace(profile);
+    std::fs::write(path, &trace).map_err(|e| CliError::Io(format!("cannot write {path}: {e}")))?;
+    println!("wrote trace ({} events) to {path}", trace.lines().count());
+    Ok(())
+}
+
+/// `wlq trace-check <trace-file>` — validates a JSON Lines execution
+/// trace against the schema `--trace-out` emits (exit 1 if invalid).
+fn cmd_trace_check(args: &[String]) -> Result<(), CliError> {
+    let [path] = args else {
+        return Err(usage_err("usage: trace-check <trace-file>"));
+    };
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| CliError::Io(format!("cannot read {path}: {e}")))?;
+    match validate_trace(&text) {
+        Ok(summary) => {
+            println!(
+                "valid trace: version {}, {} node(s), {} worker(s), {} event(s), {} incident(s)",
+                summary.version,
+                summary.nodes,
+                summary.workers,
+                summary.events,
+                summary.total_incidents
+            );
+            Ok(())
+        }
+        Err(e) => Err(CliError::Domain(format!("invalid trace {path}: {e}"))),
+    }
 }
 
 fn cmd_timeline(args: &[String]) -> Result<(), CliError> {

@@ -15,6 +15,7 @@
 //! | Workflow engine | [`wlq_workflow`] | models, simulator, scenarios, generators |
 //! | Pattern algebra | [`wlq_pattern`] | AST, parser, laws (Theorems 2–5), optimizer |
 //! | Evaluation | [`wlq_engine`] | naive + optimized operators, trees, parallel, streaming |
+//! | Observability | [`wlq_obs`] | per-operator metrics, execution profiles, JSON Lines traces |
 //! | Static analysis | [`wlq_analysis`] | span-anchored lints, unsatisfiability proofs, cost budget |
 //!
 //! ## Quick start
@@ -42,15 +43,20 @@ pub use wlq_analysis::{
 };
 pub use wlq_engine::{
     combine, combine_batch, combine_batch_into, equivalent_up_to, evaluate_parallel, fast_count,
-    leaf_batch, leaf_incidents, mine_relations, timeline, BatchArena, BoundIncident, BoundedEquiv,
-    EngineError, EvalTrace, Evaluator, Explain, ExplainRow, Incident, IncidentBatch, IncidentRef,
-    IncidentSet, IncidentTree, JoinShape, LabelledPattern, MinedRelation, Node, NodeTrace, PhysOp,
-    PhysicalPlan, PlanCost, PlanNode, PlanStats, Planner, Query, QueryProfile, RewriteCandidate,
-    SharedStreamingEvaluator, SpanStats, Strategy, StreamingEvaluator, TimelinePoint,
+    leaf_batch, leaf_incidents, mine_relations, profile_evaluation, timeline, BatchArena,
+    BoundIncident, BoundedEquiv, EngineError, EvalTrace, Evaluator, Explain, ExplainRow, Incident,
+    IncidentBatch, IncidentRef, IncidentSet, IncidentTree, JoinShape, LabelledPattern,
+    MinedRelation, Node, NodeTrace, PhysOp, PhysicalPlan, PlanCost, PlanNode, PlanRow, PlanStats,
+    Planner, Query, QueryProfile, RewriteCandidate, SharedStreamingEvaluator, SpanStats, Strategy,
+    StreamingEvaluator, TimelinePoint,
 };
 pub use wlq_log::{
     attrs, io, paper, Activity, AttrMap, AttrName, IsLsn, Log, LogBuilder, LogError, LogIndex,
     LogRecord, LogStats, Lsn, ParseLogError, Value, Wid, END_ACTIVITY, START_ACTIVITY,
+};
+pub use wlq_obs::{
+    q_error, render_trace, validate_trace, ExecutionProfile, NodeMetrics, NodeShape, ProfiledNode,
+    TraceError, TraceSummary, WorkerProfile, TRACE_SCHEMA_VERSION,
 };
 pub use wlq_pattern::{
     ac_equivalent, algebra, canonicalize, choice_normal_form, from_postfix, is_valid_pattern,

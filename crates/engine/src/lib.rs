@@ -21,6 +21,10 @@
 //!   threads.
 //! * [`StreamingEvaluator`] — incremental evaluation over an append-only
 //!   log (runtime monitoring).
+//! * [`profile_evaluation`] (cargo feature `profiling`, on by default) —
+//!   instrumented mirrors of the executors recording per-operator
+//!   [`wlq_obs::NodeMetrics`] and per-worker skew without perturbing the
+//!   unprofiled hot path.
 //! * [`Query`] — parse-once, run-many facade with counting/grouping
 //!   projections and algebraic pre-optimization.
 //!
@@ -49,6 +53,8 @@ mod incident;
 mod incident_set;
 mod mining;
 mod parallel;
+#[cfg(feature = "profiling")]
+mod profile;
 mod query;
 mod resolve;
 mod spans;
@@ -75,8 +81,11 @@ pub use kernels::{combine_batch, combine_batch_into};
 pub use mining::{mine_relations, MinedRelation};
 pub use parallel::evaluate_parallel;
 pub use planner::{
-    JoinShape, PhysOp, PhysicalPlan, PlanCost, PlanNode, PlanStats, Planner, RewriteCandidate,
+    JoinShape, PhysOp, PhysicalPlan, PlanCost, PlanNode, PlanRow, PlanStats, Planner,
+    RewriteCandidate,
 };
+#[cfg(feature = "profiling")]
+pub use profile::profile_evaluation;
 pub use query::{Query, QueryProfile};
 pub use resolve::{IncidentInLog, IncidentSetInLog};
 pub use spans::SpanStats;

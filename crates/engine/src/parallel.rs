@@ -22,7 +22,7 @@ use crate::incident::Incident;
 use crate::incident_set::IncidentSet;
 
 /// Renders a worker panic payload for [`EngineError::WorkerPanicked`].
-fn describe_panic(payload: &(dyn std::any::Any + Send)) -> String {
+pub(crate) fn describe_panic(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {

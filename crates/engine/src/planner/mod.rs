@@ -27,6 +27,6 @@ mod rewrite;
 mod stats;
 
 pub use cost::{JoinShape, PlanCost};
-pub use plan::{PhysOp, PhysicalPlan, PlanNode, Planner};
+pub use plan::{PhysOp, PhysicalPlan, PlanNode, PlanRow, Planner};
 pub use rewrite::{candidates, RewriteCandidate};
 pub use stats::PlanStats;

@@ -64,6 +64,27 @@ pub enum PlanNode {
     },
 }
 
+/// One row of a rendered plan tree, in pre-order: the single source of
+/// truth for every plan display — `Display for PhysicalPlan`, `wlq
+/// explain --plan`, and the profiler's `--analyze` tree all consume
+/// these rows instead of keeping their own formatters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanRow {
+    /// Tree depth (root = 0).
+    pub depth: usize,
+    /// Display label: `scan <atom>` for leaves, `<op> [<phys>]` for
+    /// joins.
+    pub label: String,
+    /// The sub-pattern this node evaluates, as text.
+    pub pattern: String,
+    /// Estimated incidents produced.
+    pub estimate: f64,
+    /// Estimated total cost of the subtree (children included).
+    pub cost: f64,
+    /// Whether the node is a leaf scan.
+    pub is_leaf: bool,
+}
+
 impl PlanNode {
     /// Estimated incidents this node produces.
     #[must_use]
@@ -98,16 +119,40 @@ impl PlanNode {
         }
     }
 
-    fn render(&self, f: &mut fmt::Formatter<'_>, depth: usize) -> fmt::Result {
-        let indent = depth * 2;
+    /// Number of nodes in this subtree (the profiler uses this to keep
+    /// pre-order node indices aligned across short-circuited branches).
+    #[must_use]
+    pub fn num_nodes(&self) -> usize {
         match self {
-            PlanNode::Leaf { atom, estimate, .. } => {
-                writeln!(
-                    f,
-                    "{:indent$}scan {}  (est {estimate:.1})",
-                    "",
-                    Pattern::Atom(atom.clone()),
-                )
+            PlanNode::Leaf { .. } => 1,
+            PlanNode::Join { left, right, .. } => 1 + left.num_nodes() + right.num_nodes(),
+        }
+    }
+
+    /// The plan tree flattened to display rows in pre-order.
+    #[must_use]
+    pub fn rows(&self) -> Vec<PlanRow> {
+        let mut rows = Vec::with_capacity(self.num_nodes());
+        self.collect_rows(0, &mut rows);
+        rows
+    }
+
+    fn collect_rows(&self, depth: usize, rows: &mut Vec<PlanRow>) {
+        match self {
+            PlanNode::Leaf {
+                atom,
+                estimate,
+                cost,
+            } => {
+                let pattern = Pattern::Atom(atom.clone());
+                rows.push(PlanRow {
+                    depth,
+                    label: format!("scan {pattern}"),
+                    pattern: pattern.to_string(),
+                    estimate: *estimate,
+                    cost: *cost,
+                    is_leaf: true,
+                });
             }
             PlanNode::Join {
                 op,
@@ -117,17 +162,34 @@ impl PlanNode {
                 estimate,
                 cost,
             } => {
-                writeln!(
-                    f,
-                    "{:indent$}{} [{}]  (est {estimate:.1}, cost {cost:.0})",
-                    "",
-                    op.name(),
-                    phys.name(),
-                )?;
-                left.render(f, depth + 1)?;
-                right.render(f, depth + 1)
+                rows.push(PlanRow {
+                    depth,
+                    label: format!("{} [{}]", op.name(), phys.name()),
+                    pattern: self.pattern().to_string(),
+                    estimate: *estimate,
+                    cost: *cost,
+                    is_leaf: false,
+                });
+                left.collect_rows(depth + 1, rows);
+                right.collect_rows(depth + 1, rows);
             }
         }
+    }
+
+    fn render(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for row in self.rows() {
+            let indent = row.depth * 2;
+            if row.is_leaf {
+                writeln!(f, "{:indent$}{}  (est {:.1})", "", row.label, row.estimate)?;
+            } else {
+                writeln!(
+                    f,
+                    "{:indent$}{}  (est {:.1}, cost {:.0})",
+                    "", row.label, row.estimate, row.cost
+                )?;
+            }
+        }
+        Ok(())
     }
 }
 
@@ -218,7 +280,7 @@ impl fmt::Display for PhysicalPlan {
         if self.counting_chain {
             writeln!(f, "count/exists: enumeration-free counting DP")?;
         }
-        self.root.render(f, 0)?;
+        self.root.render(f)?;
         if self.scored.len() > 1 {
             writeln!(f, "candidates considered:")?;
             for (label, cost) in &self.scored {
@@ -414,6 +476,28 @@ mod tests {
         assert!(!planner
             .plan(&parse("GetRefer[out.balance > 100]"))
             .is_counting_chain());
+    }
+
+    #[test]
+    fn rows_flatten_the_tree_in_pre_order() {
+        let log = paper::figure3_log();
+        let plan = planner_for(&log).plan(&parse("SeeDoctor -> (UpdateRefer ~> GetReimburse)"));
+        let rows = plan.root().rows();
+        assert_eq!(rows.len(), 5);
+        assert_eq!(rows.len(), plan.root().num_nodes());
+        assert_eq!(rows[0].depth, 0);
+        assert!(!rows[0].is_leaf);
+        assert!(rows[1].is_leaf, "pre-order: left leaf second, got {rows:?}");
+        assert_eq!(rows[1].pattern, "SeeDoctor");
+        // The Display output is rendered from the same rows.
+        let text = plan.to_string();
+        for row in &rows {
+            assert!(
+                text.contains(&row.label),
+                "missing {:?} in {text}",
+                row.label
+            );
+        }
     }
 
     #[test]

@@ -174,7 +174,7 @@ pub struct StreamingEvaluator {
 
 impl StreamingEvaluator {
     /// Creates a streaming evaluator for `pattern` with the default
-    /// ([`Strategy::Batch`]) operator implementations.
+    /// ([`Strategy::Planned`]) operator implementations.
     #[must_use]
     pub fn new(pattern: Pattern) -> Self {
         Self::with_strategy(pattern, Strategy::default())

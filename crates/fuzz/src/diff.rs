@@ -4,7 +4,8 @@
 use std::fmt;
 
 use wlq_engine::{
-    evaluate_parallel, fast_count, Evaluator, IncidentSet, Strategy, StreamingEvaluator,
+    evaluate_parallel, fast_count, profile_evaluation, Evaluator, IncidentSet, Strategy,
+    StreamingEvaluator,
 };
 use wlq_log::Log;
 use wlq_pattern::Pattern;
@@ -49,7 +50,9 @@ fn against(reference: &IncidentSet, name: &str, got: &IncidentSet) -> Option<Div
 /// Strategies covered: `NaivePaper` (reference), `Optimized`, `Batch`,
 /// `Planned` (the cost-based planner, including its `count`/`exists`
 /// routing), parallel evaluation with 1 and 4 workers, a full streaming
-/// replay, and — when the pattern is a chain — the `fast_count` DP.
+/// replay, profiled evaluation under every strategy (the profiler must
+/// be strictly read-only), and — when the pattern is a chain — the
+/// `fast_count` DP.
 #[must_use]
 pub fn check(log: &Log, pattern: &Pattern) -> Option<Divergence> {
     let reference = Evaluator::with_strategy(log, Strategy::NaivePaper).evaluate(pattern);
@@ -121,6 +124,50 @@ pub fn check(log: &Log, pattern: &Pattern) -> Option<Divergence> {
     }
     if let Some(d) = against(&reference, "streaming-replay", &stream.incidents()) {
         return Some(d);
+    }
+
+    // Profiled execution mirrors each strategy's executors with
+    // instrumented copies; the mirror must be byte-identical — same
+    // incident set, and counters consistent with it.
+    for strategy in [
+        Strategy::NaivePaper,
+        Strategy::Optimized,
+        Strategy::Batch,
+        Strategy::Planned,
+    ] {
+        for threads in [1usize, 4] {
+            let name = format!("profiled({threads}, {strategy:?})");
+            match profile_evaluation(log, pattern, strategy, threads) {
+                Ok((set, profile)) => {
+                    if let Some(d) = against(&reference, &name, &set) {
+                        return Some(d);
+                    }
+                    let root_emitted = profile
+                        .nodes
+                        .first()
+                        .map_or(0, |n| n.metrics.incidents_emitted);
+                    if profile.total_incidents != reference.len() as u64
+                        || root_emitted != reference.len() as u64
+                    {
+                        return Some(Divergence {
+                            strategy: name,
+                            expected: reference.len(),
+                            got: format!(
+                                "profile counters: total {}, root emitted {root_emitted}",
+                                profile.total_incidents
+                            ),
+                        });
+                    }
+                }
+                Err(e) => {
+                    return Some(Divergence {
+                        strategy: name,
+                        expected: reference.len(),
+                        got: format!("error: {e}"),
+                    });
+                }
+            }
+        }
     }
 
     if let Some(count) = fast_count(log, pattern) {

@@ -151,8 +151,8 @@ fn explain_and_mine_render_reports() {
     assert!(planned.contains("scan PlaceOrder"), "{planned}");
 
     let out = wlq(&["explain", path_str, "PlaceOrder", "--bogus"]);
-    assert!(!out.status.success());
-    assert!(stderr(&out).contains("--plan"));
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("unknown flag"));
 
     let out = wlq(&["mine", path_str, "12"]);
     assert!(out.status.success());
@@ -429,6 +429,114 @@ fn timeline_and_spans_commands() {
     let out = wlq(&["spans", p, "NoSuchActivity"]);
     assert!(out.status.success());
     assert_eq!(stdout(&out).trim(), "no incidents");
+
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn explain_analyze_prints_per_node_actuals() {
+    let path = temp_path("analyze.csv");
+    let p = path.to_str().unwrap();
+    assert!(wlq(&["simulate", "clinic", "15", "4", p]).status.success());
+
+    // Positional form.
+    let out = wlq(&["explain", p, "UpdateRefer -> GetReimburse", "--analyze"]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    for needle in [
+        "query    :",
+        "strategy : planned",
+        "q-err  node",
+        "scan UpdateRefer",
+        "scan GetReimburse",
+        "workers:",
+        "total    :",
+    ] {
+        assert!(text.contains(needle), "missing {needle:?} in {text}");
+    }
+
+    // Flag form (`--analyze <pattern> --log <file>`), parallel, with a
+    // trace written next to the table.
+    let trace_path = temp_path("analyze.jsonl");
+    let t = trace_path.to_str().unwrap();
+    let out = wlq(&[
+        "explain",
+        "--analyze",
+        "GetRefer ~> CheckIn",
+        "--log",
+        p,
+        "--threads",
+        "2",
+        "--trace-out",
+        t,
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(stdout(&out).contains("wrote trace"));
+
+    // The written trace passes trace-check.
+    let out = wlq(&["trace-check", t]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(stdout(&out).contains("valid trace: version 1"));
+
+    std::fs::remove_file(&path).ok();
+    std::fs::remove_file(&trace_path).ok();
+}
+
+#[test]
+fn explain_flag_conflicts_are_usage_errors() {
+    let path = temp_path("analyze-err.csv");
+    let p = path.to_str().unwrap();
+    assert!(wlq(&["simulate", "clinic", "5", "1", p]).status.success());
+
+    let out = wlq(&["explain", p, "SeeDoctor", "--plan", "--analyze"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("mutually exclusive"));
+
+    let out = wlq(&["explain", p, "SeeDoctor", "--trace-out", "/tmp/x.jsonl"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("--trace-out requires --analyze"));
+
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn query_profile_answers_then_profiles() {
+    let path = temp_path("profile.csv");
+    let p = path.to_str().unwrap();
+    assert!(wlq(&["simulate", "clinic", "20", "9", p]).status.success());
+
+    // The mode answer must match the unprofiled run exactly.
+    let plain = wlq(&["query", p, "GetRefer ~> CheckIn", "--count"]);
+    let profiled = wlq(&["query", p, "GetRefer ~> CheckIn", "--count", "--profile"]);
+    assert!(profiled.status.success(), "{}", stderr(&profiled));
+    let text = stdout(&profiled);
+    assert_eq!(
+        text.lines().next().unwrap(),
+        stdout(&plain).trim(),
+        "profiled count diverged"
+    );
+    assert!(text.contains("strategy : planned"));
+    assert!(text.contains("q-err  node"));
+
+    // --naive routes the profiled run through the paper's operators.
+    let out = wlq(&["query", p, "SeeDoctor", "--profile", "--naive", "--exists"]);
+    assert!(out.status.success());
+    assert!(stdout(&out).contains("strategy : naive-paper"));
+
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn trace_check_rejects_invalid_traces() {
+    let path = temp_path("bad.jsonl");
+    let p = path.to_str().unwrap();
+    std::fs::write(&path, "{\"event\":\"trace_begin\",\"version\":99}\n").unwrap();
+    let out = wlq(&["trace-check", p]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(stderr(&out).contains("invalid trace"));
+
+    let out = wlq(&["trace-check", "/nonexistent/trace.jsonl"]);
+    assert_eq!(out.status.code(), Some(4));
 
     std::fs::remove_file(&path).ok();
 }
